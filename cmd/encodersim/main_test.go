@@ -1,0 +1,35 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// tiny keeps command tests fast: short stream, small frames.
+func tiny() experiments.Options {
+	return experiments.Options{Frames: 60, Macroblocks: 120, Seed: 1}
+}
+
+func TestRunEachFigure(t *testing.T) {
+	for _, fig := range []string{"5", "6", "7", "8", "9", "overhead", "policies", "grain", "buffers", "learning", "smoothness", "decoder"} {
+		fig := fig
+		t.Run("fig"+fig, func(t *testing.T) {
+			if err := run(fig, tiny(), false, 10); err != nil {
+				t.Fatalf("fig %s: %v", fig, err)
+			}
+		})
+	}
+}
+
+func TestRunWithPlot(t *testing.T) {
+	if err := run("6", tiny(), true, 10); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if err := run("99", tiny(), false, 10); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}

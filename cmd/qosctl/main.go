@@ -1,0 +1,134 @@
+// Command qosctl builds and inspects controlled applications from a
+// textual model description (the prototype tool's input format: actions,
+// edges, levels, time tables, deadlines). It can show the model, check
+// schedulability, print the EDF schedule and the precomputed constraint
+// tables, and simulate controlled cycles under random load.
+//
+// Usage:
+//
+//	qosctl -model app.qos show
+//	qosctl -model app.qos check
+//	qosctl -model app.qos schedule
+//	qosctl -model app.qos tables
+//	qosctl -model app.qos simulate -cycles 10 -seed 7 -load 0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/platform"
+)
+
+func main() {
+	var (
+		modelPath = flag.String("model", "", "path to the textual model file")
+		cycles    = flag.Int("cycles", 5, "simulate: number of cycles to run")
+		seed      = flag.Uint64("seed", 1, "simulate: random seed")
+		load      = flag.Float64("load", 0.5, "simulate: load position in [0,1] between Cav and Cwc")
+		soft      = flag.Bool("soft", false, "simulate: soft mode (average constraint only)")
+	)
+	flag.Parse()
+	if *modelPath == "" || flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: qosctl -model <file> {show|check|schedule|tables|simulate}")
+		os.Exit(2)
+	}
+	if err := run(*modelPath, flag.Arg(0), *cycles, *seed, *load, *soft); err != nil {
+		fmt.Fprintln(os.Stderr, "qosctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(modelPath, cmd string, cycles int, seed uint64, load float64, soft bool) error {
+	f, err := os.Open(modelPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	m, err := codegen.Parse(f)
+	if err != nil {
+		return err
+	}
+	switch cmd {
+	case "show":
+		sys, err := m.BuildSystem()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("actions: %d  levels: %v  iterate: %d\n", sys.Graph.Len(), sys.Levels, m.Iterate)
+		fmt.Print(sys.Graph.String())
+		return nil
+	case "check":
+		sys, err := m.BuildSystem()
+		if err != nil {
+			return err
+		}
+		if !sys.FeasibleAtQmin() {
+			fmt.Println("INFEASIBLE: no schedule meets all deadlines at qmin under worst-case times")
+			return nil
+		}
+		fmt.Println("feasible at qmin under worst-case times: hard control possible")
+		if sys.UniformDeadlines() {
+			fmt.Println("deadline order is quality-independent: precomputed tables available")
+		} else {
+			fmt.Println("deadline order depends on quality: controller will use direct evaluation")
+		}
+		return nil
+	case "schedule":
+		ar, err := codegen.Generate(m)
+		if err != nil {
+			return err
+		}
+		return ar.WriteSchedule(os.Stdout)
+	case "tables":
+		ar, err := codegen.Generate(m)
+		if err != nil {
+			return err
+		}
+		return ar.WriteTables(os.Stdout)
+	case "simulate":
+		return simulate(m, cycles, seed, load, soft)
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func simulate(m *codegen.Model, cycles int, seed uint64, load float64, soft bool) error {
+	sys, err := m.BuildSystem()
+	if err != nil {
+		return err
+	}
+	opts := []core.Option{}
+	if soft {
+		opts = append(opts, core.WithMode(core.Soft))
+	}
+	ctrl, err := core.NewController(sys, opts...)
+	if err != nil {
+		return err
+	}
+	rng := platform.NewRNG(seed)
+	for c := 0; c < cycles; c++ {
+		ctrl.Reset()
+		res, err := ctrl.RunCycle(func(a core.ActionID, q core.Level) core.Cycles {
+			av := sys.Cav.At(q, a)
+			wc := sys.Cwc.At(q, a)
+			if wc.IsInf() {
+				wc = av * 2
+			}
+			f := load * rng.Float64() * 2
+			if f > 1 {
+				f = 1
+			}
+			return av + core.Cycles(f*float64(wc-av))
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("cycle %2d: elapsed=%-10s meanQ=%.2f misses=%d fallbacks=%d\n",
+			c, res.Elapsed, res.MeanLevel(), res.Misses, res.Fallbacks)
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const model = `
+levels 0 1
+action a
+action b
+edge a b
+time a * 10 20
+time b 0 10 20
+time b 1 30 50
+deadline b * 200
+`
+
+func modelFile(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "m.qos")
+	if err := os.WriteFile(path, []byte(model), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunCommands(t *testing.T) {
+	path := modelFile(t)
+	for _, cmd := range []string{"show", "check", "schedule", "tables"} {
+		if err := run(path, cmd, 0, 0, 0, false); err != nil {
+			t.Errorf("%s: %v", cmd, err)
+		}
+	}
+}
+
+func TestRunSimulate(t *testing.T) {
+	path := modelFile(t)
+	if err := run(path, "simulate", 3, 7, 0.5, false); err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+	if err := run(path, "simulate", 3, 7, 0.5, true); err != nil {
+		t.Fatalf("simulate soft: %v", err)
+	}
+}
+
+func TestRunUnknownCommand(t *testing.T) {
+	if err := run(modelFile(t), "bogus", 0, 0, 0, false); err == nil {
+		t.Fatal("unknown command accepted")
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	if err := run("/nonexistent.qos", "show", 0, 0, 0, false); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestRunMPEGBodyModel(t *testing.T) {
+	path := filepath.Join("..", "..", "examples", "models", "mpeg_body.qos")
+	if _, err := os.Stat(path); err != nil {
+		t.Skipf("model file unavailable: %v", err)
+	}
+	for _, cmd := range []string{"check", "schedule", "simulate"} {
+		if err := run(path, cmd, 2, 1, 0.4, false); err != nil {
+			t.Errorf("%s: %v", cmd, err)
+		}
+	}
+}

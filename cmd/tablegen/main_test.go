@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const model = `
+levels 0 1
+action a
+action b
+edge a b
+time a * 10 20
+time b * 10 20
+deadline b * 100
+`
+
+func modelFile(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "m.qos")
+	if err := os.WriteFile(path, []byte(model), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunWritesArtifacts(t *testing.T) {
+	path := modelFile(t)
+	out := filepath.Join(t.TempDir(), "gen")
+	if err := run(path, out, false); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"schedule.txt", "tables.txt", "controlled.c"} {
+		data, err := os.ReadFile(filepath.Join(out, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(data) == 0 {
+			t.Errorf("%s is empty", name)
+		}
+	}
+	c, _ := os.ReadFile(filepath.Join(out, "controlled.c"))
+	if !strings.Contains(string(c), "qos_run_cycle") {
+		t.Error("controlled.c missing the controller loop")
+	}
+}
+
+func TestRunStdout(t *testing.T) {
+	if err := run(modelFile(t), "", true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMissingModel(t *testing.T) {
+	if err := run("/nope.qos", t.TempDir(), false); err == nil {
+		t.Fatal("missing model accepted")
+	}
+}

@@ -1,0 +1,95 @@
+// Quickstart: build a three-action pipeline with two quality levels,
+// attach the QoS controller, and run a few cycles under random load.
+// This is the smallest complete use of the public API: model the
+// application, validate it, and let the controller pick quality levels
+// that never miss the cycle deadline while filling the time budget.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	qos "repro"
+)
+
+func main() {
+	// The application: fetch -> process -> emit, once per cycle.
+	b := qos.NewGraphBuilder()
+	b.AddAction("fetch")
+	b.AddAction("process")
+	b.AddAction("emit")
+	b.AddEdge("fetch", "process")
+	b.AddEdge("process", "emit")
+	g, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Two quality levels. Only "process" depends on the level: the
+	// high-quality path averages 60 cycles (worst case 100), the low
+	// one 20 (worst case 30).
+	levels := qos.NewLevelRange(0, 1)
+	n := g.Len()
+	cav := qos.NewTimeFamily(levels, n, 0)
+	cwc := qos.NewTimeFamily(levels, n, 0)
+	d := qos.NewTimeFamily(levels, n, qos.Inf)
+
+	id := func(name string) qos.ActionID {
+		a, ok := g.Lookup(name)
+		if !ok {
+			log.Fatalf("unknown action %s", name)
+		}
+		return a
+	}
+	for _, q := range levels {
+		cav.Set(q, id("fetch"), 10)
+		cwc.Set(q, id("fetch"), 15)
+		cav.Set(q, id("emit"), 10)
+		cwc.Set(q, id("emit"), 12)
+	}
+	cav.Set(0, id("process"), 20)
+	cwc.Set(0, id("process"), 30)
+	cav.Set(1, id("process"), 60)
+	cwc.Set(1, id("process"), 100)
+	// One hard deadline: the cycle must finish within 124 cycles. The
+	// high-quality process (worst case 100) plus emit (worst case 12)
+	// leaves 12 cycles of margin: q1 is admitted only after fast
+	// fetches, so runs mix both levels.
+	for _, q := range levels {
+		d.Set(q, id("emit"), 124)
+	}
+
+	sys, err := qos.NewSystem(g, levels, cav, cwc, d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctrl, err := qos.NewController(sys)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Simulated execution: actual times land between average and worst
+	// case, drawn from a deterministic generator.
+	rng := qos.NewRNG(42)
+	for cycle := 0; cycle < 5; cycle++ {
+		ctrl.Reset()
+		res, err := ctrl.RunCycle(func(a qos.ActionID, q qos.Level) qos.Cycles {
+			av := sys.Cav.At(q, a)
+			wc := sys.Cwc.At(q, a)
+			return av + qos.Cycles(rng.Float64()*float64(wc-av))
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("cycle %d: finished at t=%-4s quality=", cycle, res.Elapsed)
+		for i, st := range res.Trace {
+			if i > 0 {
+				fmt.Print(",")
+			}
+			fmt.Printf("%s@q%d", g.Name(st.Action), st.Level)
+		}
+		fmt.Printf("  misses=%d\n", res.Misses)
+	}
+	fmt.Println("\nthe controller holds q1 while the budget allows and degrades")
+	fmt.Println("process to q0 whenever a slow fetch would make q1 unsafe.")
+}

@@ -1,0 +1,105 @@
+// Hard-deadline radio link: the paper motivates safety-critical QoS with
+// "applications where ... hard deadlines must be respected e.g.
+// communications of cellular phones". This example models a receive
+// slot: synchronise -> channel-estimate -> equalise -> demodulate ->
+// decode, which must complete within the slot, every slot, under a
+// fading channel that changes the workload burstiness. The quality
+// level selects the equaliser depth / decoder iterations: better link
+// margin when time permits, guaranteed slot deadline always.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	qos "repro"
+)
+
+const slotBudget = 100_000 // cycles per receive slot
+
+func buildSystem() (*qos.System, error) {
+	b := qos.NewGraphBuilder()
+	actions := []string{"synchronise", "channel_estimate", "equalise", "demodulate", "decode"}
+	for _, a := range actions {
+		b.AddAction(a)
+	}
+	for i := 0; i+1 < len(actions); i++ {
+		b.AddEdge(actions[i], actions[i+1])
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	levels := qos.NewLevelRange(0, 4)
+	n := g.Len()
+	cav := qos.NewTimeFamily(levels, n, 0)
+	cwc := qos.NewTimeFamily(levels, n, 0)
+	d := qos.NewTimeFamily(levels, n, qos.Inf)
+	id := func(s string) qos.ActionID { a, _ := g.Lookup(s); return a }
+	for qi, q := range levels {
+		scale := qos.Cycles(qi + 1)
+		cav.Set(q, id("synchronise"), 4_000)
+		cwc.Set(q, id("synchronise"), 7_000)
+		cav.Set(q, id("channel_estimate"), 6_000)
+		cwc.Set(q, id("channel_estimate"), 11_000)
+		cav.Set(q, id("equalise"), 5_000*scale)
+		cwc.Set(q, id("equalise"), 9_000*scale)
+		cav.Set(q, id("demodulate"), 3_000)
+		cwc.Set(q, id("demodulate"), 5_000)
+		cav.Set(q, id("decode"), 6_000*scale)
+		cwc.Set(q, id("decode"), 12_000*scale)
+		// The whole slot is a hard deadline on the final action.
+		d.Set(q, id("decode"), slotBudget)
+	}
+	return qos.NewSystem(g, levels, cav, cwc, d)
+}
+
+func main() {
+	sys, err := buildSystem()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctrl, err := qos.NewController(sys) // hard mode: slot deadline is law
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := qos.NewRNG(99)
+	const slots = 5000
+	var misses, fallbacks int
+	var qSum, utilSum float64
+	levelHist := map[qos.Level]int{}
+	for s := 0; s < slots; s++ {
+		// Fading: deep fades (every ~40 slots) push every stage toward
+		// its worst case.
+		fade := 0.25
+		if s%40 < 3 {
+			fade = 0.95
+		}
+		ctrl.Reset()
+		res, err := ctrl.RunCycle(func(a qos.ActionID, q qos.Level) qos.Cycles {
+			av := sys.Cav.At(q, a)
+			wc := sys.Cwc.At(q, a)
+			f := fade * (0.6 + 0.4*rng.Float64())
+			return av + qos.Cycles(f*float64(wc-av))
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		misses += res.Misses
+		fallbacks += res.Fallbacks
+		qSum += res.MeanLevel()
+		utilSum += float64(res.Elapsed) / float64(slotBudget)
+		for _, st := range res.Trace {
+			levelHist[st.Level]++
+		}
+	}
+	fmt.Printf("radio link, %d slots, %d-cycle hard slot deadline\n\n", slots, slotBudget)
+	fmt.Printf("deadline misses:   %d (hard guarantee)\n", misses)
+	fmt.Printf("contract breaches: %d\n", fallbacks)
+	fmt.Printf("mean quality:      %.2f of %d\n", qSum/slots, sys.QMax())
+	fmt.Printf("slot utilisation:  %.1f%%\n", 100*utilSum/slots)
+	fmt.Println("\nper-level action counts (adaptation to fading):")
+	for _, q := range sys.Levels {
+		fmt.Printf("  q%d: %d\n", q, levelHist[q])
+	}
+}

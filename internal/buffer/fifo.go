@@ -1,0 +1,90 @@
+// Package buffer provides the bounded FIFO used to model the encoder's
+// input and output frame buffers (figure 3). The buffers decouple the
+// camera's fixed frame rate from the encoder's variable load; a frame
+// arriving at a full buffer is skipped.
+package buffer
+
+import "fmt"
+
+// FIFO is a bounded first-in first-out queue of frame indices (or any
+// int payload). The zero value is unusable; use New.
+type FIFO struct {
+	items []int
+	head  int
+	size  int
+	cap   int
+
+	pushes int
+	drops  int
+	pops   int
+	maxOcc int
+}
+
+// New returns an empty FIFO with the given capacity.
+func New(capacity int) *FIFO {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("buffer: capacity %d must be positive", capacity))
+	}
+	return &FIFO{items: make([]int, capacity), cap: capacity}
+}
+
+// Cap returns the capacity K.
+func (f *FIFO) Cap() int { return f.cap }
+
+// Len returns the current occupancy.
+func (f *FIFO) Len() int { return f.size }
+
+// Full reports whether the buffer is at capacity.
+func (f *FIFO) Full() bool { return f.size == f.cap }
+
+// Empty reports whether the buffer holds nothing.
+func (f *FIFO) Empty() bool { return f.size == 0 }
+
+// Push enqueues v. It returns false — and counts a drop — when the
+// buffer is full (the frame-skip case).
+func (f *FIFO) Push(v int) bool {
+	f.pushes++
+	if f.Full() {
+		f.drops++
+		return false
+	}
+	f.items[(f.head+f.size)%f.cap] = v
+	f.size++
+	if f.size > f.maxOcc {
+		f.maxOcc = f.size
+	}
+	return true
+}
+
+// Pop dequeues the oldest element. The second result is false when the
+// buffer is empty.
+func (f *FIFO) Pop() (int, bool) {
+	if f.Empty() {
+		return 0, false
+	}
+	v := f.items[f.head]
+	f.head = (f.head + 1) % f.cap
+	f.size--
+	f.pops++
+	return v, true
+}
+
+// Peek returns the oldest element without removing it.
+func (f *FIFO) Peek() (int, bool) {
+	if f.Empty() {
+		return 0, false
+	}
+	return f.items[f.head], true
+}
+
+// Stats returns lifetime counters: attempted pushes, dropped pushes,
+// pops, and the maximum occupancy observed.
+func (f *FIFO) Stats() (pushes, drops, pops, maxOcc int) {
+	return f.pushes, f.drops, f.pops, f.maxOcc
+}
+
+// Reset empties the buffer and clears statistics.
+func (f *FIFO) Reset() {
+	f.head, f.size = 0, 0
+	f.pushes, f.drops, f.pops, f.maxOcc = 0, 0, 0, 0
+}

@@ -1,0 +1,119 @@
+package buffer
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFIFOBasics(t *testing.T) {
+	f := New(2)
+	if f.Cap() != 2 || !f.Empty() || f.Full() {
+		t.Fatal("fresh FIFO state wrong")
+	}
+	if !f.Push(1) || !f.Push(2) {
+		t.Fatal("pushes into empty buffer failed")
+	}
+	if !f.Full() {
+		t.Fatal("should be full")
+	}
+	if f.Push(3) {
+		t.Fatal("push into full buffer succeeded")
+	}
+	if v, ok := f.Peek(); !ok || v != 1 {
+		t.Fatalf("Peek = %d,%v", v, ok)
+	}
+	if v, ok := f.Pop(); !ok || v != 1 {
+		t.Fatalf("Pop = %d,%v", v, ok)
+	}
+	if v, ok := f.Pop(); !ok || v != 2 {
+		t.Fatalf("Pop = %d,%v", v, ok)
+	}
+	if _, ok := f.Pop(); ok {
+		t.Fatal("Pop from empty succeeded")
+	}
+	if _, ok := f.Peek(); ok {
+		t.Fatal("Peek on empty succeeded")
+	}
+}
+
+func TestFIFOStats(t *testing.T) {
+	f := New(1)
+	f.Push(1)
+	f.Push(2) // drop
+	f.Pop()
+	pushes, drops, pops, maxOcc := f.Stats()
+	if pushes != 2 || drops != 1 || pops != 1 || maxOcc != 1 {
+		t.Fatalf("stats = %d %d %d %d", pushes, drops, pops, maxOcc)
+	}
+	f.Reset()
+	pushes, drops, pops, maxOcc = f.Stats()
+	if pushes+drops+pops+maxOcc != 0 || !f.Empty() {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+func TestFIFOWraparound(t *testing.T) {
+	f := New(3)
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 3; i++ {
+			if !f.Push(round*10 + i) {
+				t.Fatal("push failed")
+			}
+		}
+		for i := 0; i < 3; i++ {
+			v, ok := f.Pop()
+			if !ok || v != round*10+i {
+				t.Fatalf("round %d: pop = %d,%v", round, v, ok)
+			}
+		}
+	}
+}
+
+func TestNewPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(0)
+}
+
+// FIFO order and occupancy invariants under random operation sequences.
+func TestPropertyFIFOOrder(t *testing.T) {
+	f := func(ops []bool, capRaw uint8) bool {
+		capacity := 1 + int(capRaw%8)
+		fifo := New(capacity)
+		var model []int
+		next := 0
+		for _, push := range ops {
+			if push {
+				ok := fifo.Push(next)
+				if ok != (len(model) < capacity) {
+					return false
+				}
+				if ok {
+					model = append(model, next)
+				}
+				next++
+			} else {
+				v, ok := fifo.Pop()
+				if ok != (len(model) > 0) {
+					return false
+				}
+				if ok {
+					if v != model[0] {
+						return false
+					}
+					model = model[1:]
+				}
+			}
+			if fifo.Len() != len(model) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

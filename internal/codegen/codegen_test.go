@@ -1,0 +1,243 @@
+package codegen
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+const tinyModel = `
+# two-action chain, two levels
+levels 0 1
+action a
+action b
+edge a b
+time a * 10 20
+time b 0 10 20
+time b 1 30 50
+deadline b * 100
+`
+
+func parseTiny(t *testing.T) *Model {
+	t.Helper()
+	m, err := Parse(strings.NewReader(tinyModel))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return m
+}
+
+func TestParseTiny(t *testing.T) {
+	m := parseTiny(t)
+	if len(m.Actions) != 2 || len(m.Edges) != 1 || m.Iterate != 1 {
+		t.Fatalf("model: %+v", m)
+	}
+	if len(m.Levels) != 2 {
+		t.Fatalf("levels: %v", m.Levels)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"no levels", "action a\n"},
+		{"no actions", "levels 0 1\n"},
+		{"bad directive", "levels 0 1\naction a\nfrobnicate x\n"},
+		{"bad level range", "levels 3 1\naction a\n"},
+		{"bad time", "levels 0 1\naction a\ntime a * ten 20\n"},
+		{"short edge", "levels 0 1\naction a\nedge a\n"},
+		{"bad deadline", "levels 0 1\naction a\ndeadline a * -5\n"},
+		{"bad iterate", "levels 0 1\naction a\niterate 0\n"},
+		{"bad level token", "levels 0 1\naction a\ntime a x 1 2\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Parse(strings.NewReader(c.src)); err == nil {
+				t.Fatalf("accepted: %s", c.src)
+			}
+		})
+	}
+}
+
+func TestParseInfDeadline(t *testing.T) {
+	src := "levels 0 0\naction a\ndeadline a * inf\ntime a * 1 2\n"
+	m, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := m.BuildSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sys.D.At(0, 0).IsInf() {
+		t.Fatal("inf deadline not parsed")
+	}
+}
+
+func TestBuildSystemFromTiny(t *testing.T) {
+	m := parseTiny(t)
+	sys, err := m.BuildSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Graph.Len() != 2 {
+		t.Fatalf("graph size %d", sys.Graph.Len())
+	}
+	b, _ := sys.Graph.Lookup("b")
+	if sys.Cav.At(1, b) != 30 || sys.Cwc.At(1, b) != 50 {
+		t.Fatal("per-level time not applied")
+	}
+	if sys.D.At(0, b) != 100 {
+		t.Fatal("deadline not applied")
+	}
+	if !sys.FeasibleAtQmin() {
+		t.Fatal("tiny model should be feasible")
+	}
+}
+
+func TestGenerateArtifacts(t *testing.T) {
+	m := parseTiny(t)
+	ar, err := Generate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ar.Alpha) != 2 {
+		t.Fatalf("schedule: %v", ar.Alpha)
+	}
+	var sched, tables, cfile strings.Builder
+	if err := ar.WriteSchedule(&sched); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sched.String(), "a") || !strings.Contains(sched.String(), "deadline") {
+		t.Errorf("schedule listing:\n%s", sched.String())
+	}
+	if err := ar.WriteTables(&tables); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tables.String(), "slackAv") {
+		t.Errorf("tables listing:\n%s", tables.String())
+	}
+	if err := ar.WriteC(&cfile); err != nil {
+		t.Fatal(err)
+	}
+	c := cfile.String()
+	for _, want := range []string{
+		"QOS_N_ACTIONS 2", "QOS_N_LEVELS  2",
+		"qos_schedule", "qos_slack_av", "qos_slack_wc", "qos_run_cycle",
+	} {
+		if !strings.Contains(c, want) {
+			t.Errorf("generated C missing %q", want)
+		}
+	}
+	inst := ar.Instrumentation()
+	if inst.TableEntries != 2*2*2 || inst.TableBytes != inst.TableEntries*8 {
+		t.Errorf("instrumentation: %+v", inst)
+	}
+}
+
+func TestGenerateRejectsNonUniform(t *testing.T) {
+	src := `
+levels 0 1
+action a
+action b
+time a * 1 2
+time b * 1 2
+deadline a 0 10
+deadline a 1 50
+deadline b 0 50
+deadline b 1 10
+`
+	m, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Generate(m); err == nil {
+		t.Fatal("non-uniform deadline order accepted")
+	}
+}
+
+func TestIterateAppliesDeadlineToLastIteration(t *testing.T) {
+	src := `
+levels 0 0
+action a
+time a * 10 20
+deadline a * 1000
+iterate 3
+`
+	m, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := m.BuildSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Graph.Len() != 3 {
+		t.Fatalf("unrolled size %d", sys.Graph.Len())
+	}
+	d := sys.D.AtIndex(0)
+	if !d[0].IsInf() || !d[1].IsInf() || d[2] != 1000 {
+		t.Fatalf("deadlines = %v", d)
+	}
+}
+
+func TestMPEGBodyModelFile(t *testing.T) {
+	path := filepath.Join("..", "..", "examples", "models", "mpeg_body.qos")
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("model file: %v", err)
+	}
+	defer f.Close()
+	m, err := Parse(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Actions) != 9 || m.Iterate != 8 {
+		t.Fatalf("model shape: %d actions, iterate %d", len(m.Actions), m.Iterate)
+	}
+	ar, err := Generate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ar.Alpha) != 72 {
+		t.Fatalf("schedule length %d, want 72", len(ar.Alpha))
+	}
+	if !ar.Sys.FeasibleAtQmin() {
+		t.Fatal("model infeasible at qmin")
+	}
+	// And the generated controller runs safely.
+	ctrl, err := core.NewController(ar.Sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ctrl.RunCycle(func(a core.ActionID, q core.Level) core.Cycles {
+		return ar.Sys.Cav.At(q, a)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Misses != 0 {
+		t.Fatalf("misses = %d", res.Misses)
+	}
+	if res.MeanLevel() < 1 {
+		t.Errorf("mean level %v suspiciously low for a 2.5 Mcycle budget", res.MeanLevel())
+	}
+}
+
+func TestCIdent(t *testing.T) {
+	cases := map[string]string{
+		"Grab_Macro_Block": "Grab_Macro_Block",
+		"a#1":              "a_1",
+		"9lives":           "a_9lives",
+		"":                 "a_",
+	}
+	for in, want := range cases {
+		if got := cIdent(in); got != want {
+			t.Errorf("cIdent(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package core
+
+// This file implements the Quality Manager's admissibility predicates
+// (section 2.2):
+//
+//	Qual_Const^av(α,θ,t,i): t ≤ min( D_θ(α[i+1,n]) − Ĉav_θ(α[i+1,n]) )
+//	Qual_Const^wc(α,θ,t,i): t ≤ min( D_θ'(α[i+1,n]) − Ĉwc_θ'(α[i+1,n]) )
+//	    with θ'(α(j)) = qmin for j > i+1, θ' = θ elsewhere
+//	Qual_Const = Qual_Const^av ∧ Qual_Const^wc
+//
+// Both a direct evaluation (general case) and precomputed suffix-slack
+// tables (the prototype tool's fast path, valid when the deadline order
+// is independent of quality) are provided.
+
+// QualConstAv evaluates the average-time (optimality) constraint for the
+// remaining suffix alpha[i:] under assignment theta at elapsed time t.
+func QualConstAv(s *System, alpha []ActionID, theta Assignment, t Cycles, i int) bool {
+	c := s.Cav.ForAssignment(theta)
+	d := s.D.ForAssignment(theta)
+	return MinSlack(alpha[i:], c, d, t) >= 0
+}
+
+// QualConstWc evaluates the worst-case (safety) constraint: the next
+// action α(i) runs at θ(α(i)) with its worst-case time, and all actions
+// after it fall back to qmin; every deadline of the suffix must still be
+// met. This guarantees the controller can always retreat to minimal
+// quality without missing a deadline.
+func QualConstWc(s *System, alpha []ActionID, theta Assignment, t Cycles, i int) bool {
+	thetaP := theta.Clone()
+	qmin := s.QMin()
+	for j := i + 1; j < len(alpha); j++ {
+		thetaP[alpha[j]] = qmin
+	}
+	c := s.Cwc.ForAssignment(thetaP)
+	d := s.D.ForAssignment(thetaP)
+	// Soft deadlines are excluded from the safety constraint: only the
+	// average constraint speaks for them (paper §4).
+	if s.Soft != nil {
+		d = d.Clone()
+		for a, soft := range s.Soft {
+			if soft {
+				d[a] = Inf
+			}
+		}
+	}
+	return MinSlack(alpha[i:], c, d, t) >= 0
+}
+
+// QualConst is the conjunction of the average and worst-case constraints.
+func QualConst(s *System, alpha []ActionID, theta Assignment, t Cycles, i int) bool {
+	return QualConstAv(s, alpha, theta, t, i) && QualConstWc(s, alpha, theta, t, i)
+}
+
+// subCost returns m − c with the saturation semantics needed by slack
+// recurrences: a +Inf bound is never binding; a +Inf cost against a
+// finite bound can never be met.
+func subCost(m, c Cycles) Cycles {
+	if m.IsInf() {
+		return Inf
+	}
+	if c.IsInf() {
+		return -Inf
+	}
+	return m - c
+}
+
+// Tables holds the precomputed values used by the generated controller
+// (figure 4: "tables containing pre-computed values used by the
+// controller for the computation of Qual_Const^av and Qual_Const^wc").
+//
+// For a fixed schedule order alpha (legal when the deadline order is
+// quality-independent), define for each level q and position i:
+//
+//	SlackAv[q][i] = min_{j≥i} ( D_q(α(j)) − Σ_{k=i..j} Cav_q(α(k)) )
+//	SlackWc[q][i] = min( D_q(α(i)),  WcQminSlack[i+1] ) − Cwc_q(α(i))
+//	WcQminSlack[i] = min_{j≥i} ( D_qmin(α(j)) − Σ_{k=i..j} Cwc_qmin(α(k)) )
+//
+// Then Qual_Const(θ▷_i q, t) holds iff t ≤ SlackAv[q][i] ∧ t ≤ SlackWc[q][i],
+// an O(1) test per candidate level.
+type Tables struct {
+	Alpha       []ActionID
+	SlackAv     [][]Cycles // [levelIndex][position]
+	SlackWc     [][]Cycles // [levelIndex][position]
+	WcQminSlack []Cycles   // [position]
+}
+
+// NewTables precomputes constraint tables for the system along the fixed
+// schedule order alpha. alpha must be a schedule of s.Graph.
+func NewTables(s *System, alpha []ActionID) *Tables {
+	n := len(alpha)
+	nl := len(s.Levels)
+	t := &Tables{
+		Alpha:       append([]ActionID(nil), alpha...),
+		SlackAv:     make([][]Cycles, nl),
+		SlackWc:     make([][]Cycles, nl),
+		WcQminSlack: make([]Cycles, n+1),
+	}
+	// Fallback suffix at qmin / worst case. Only hard deadlines bind
+	// the safety constraint.
+	cwcMin := s.Cwc.AtIndex(0)
+	dMin := s.HardDeadlines(0)
+	t.WcQminSlack[n] = Inf
+	for i := n - 1; i >= 0; i-- {
+		a := alpha[i]
+		t.WcQminSlack[i] = subCost(MinCycles(dMin[a], t.WcQminSlack[i+1]), cwcMin[a])
+	}
+	for qi := 0; qi < nl; qi++ {
+		cav := s.Cav.AtIndex(qi)
+		cwc := s.Cwc.AtIndex(qi)
+		d := s.D.AtIndex(qi)
+		dHard := s.HardDeadlines(qi)
+		av := make([]Cycles, n+1)
+		wc := make([]Cycles, n) // no position n: wc constrains the next action only
+		av[n] = Inf
+		for i := n - 1; i >= 0; i-- {
+			a := alpha[i]
+			av[i] = subCost(MinCycles(d[a], av[i+1]), cav[a])
+			wc[i] = subCost(MinCycles(dHard[a], t.WcQminSlack[i+1]), cwc[a])
+		}
+		t.SlackAv[qi] = av
+		t.SlackWc[qi] = wc
+	}
+	return t
+}
+
+// AllowedAv reports the table form of Qual_Const^av at level index qi,
+// position i, elapsed time t.
+func (tb *Tables) AllowedAv(qi, i int, t Cycles) bool {
+	s := tb.SlackAv[qi][i]
+	return s.IsInf() || t <= s
+}
+
+// AllowedWc reports the table form of Qual_Const^wc.
+func (tb *Tables) AllowedWc(qi, i int, t Cycles) bool {
+	if i >= len(tb.Alpha) {
+		return true
+	}
+	s := tb.SlackWc[qi][i]
+	return s.IsInf() || t <= s
+}
+
+// Allowed reports the table form of Qual_Const.
+func (tb *Tables) Allowed(qi, i int, t Cycles) bool {
+	return tb.AllowedAv(qi, i, t) && tb.AllowedWc(qi, i, t)
+}
+
+// Len returns the number of positions (actions) covered.
+func (tb *Tables) Len() int { return len(tb.Alpha) }

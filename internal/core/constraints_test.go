@@ -1,0 +1,159 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// tinySystem: chain a -> b, two levels. Handy for hand-computed checks.
+//
+//	level 0: Cav=(10,10) Cwc=(20,20)
+//	level 1: Cav=(30,30) Cwc=(50,50)
+//	D (both levels): a: 100, b: 100
+func tinySystem(t *testing.T) *System {
+	t.Helper()
+	b := NewGraphBuilder()
+	b.AddAction("a")
+	b.AddAction("b")
+	b.AddEdge("a", "b")
+	g := mustGraph(t, b)
+	levels := NewLevelRange(0, 1)
+	cav := NewTimeFamily(levels, 2, 0)
+	cwc := NewTimeFamily(levels, 2, 0)
+	d := NewTimeFamily(levels, 2, 100)
+	for a := ActionID(0); a < 2; a++ {
+		cav.Set(0, a, 10)
+		cwc.Set(0, a, 20)
+		cav.Set(1, a, 30)
+		cwc.Set(1, a, 50)
+	}
+	sys, err := NewSystem(g, levels, cav, cwc, d)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	return sys
+}
+
+func TestQualConstAvHandComputed(t *testing.T) {
+	sys := tinySystem(t)
+	alpha := []ActionID{0, 1}
+	// All remaining at level 1: suffix av sums 30, 60; slacks 70, 40.
+	theta := Assignment{1, 1}
+	if !QualConstAv(sys, alpha, theta, 40, 0) {
+		t.Error("t=40 should satisfy av constraint (slack 40)")
+	}
+	if QualConstAv(sys, alpha, theta, 41, 0) {
+		t.Error("t=41 should violate av constraint")
+	}
+}
+
+func TestQualConstWcHandComputed(t *testing.T) {
+	sys := tinySystem(t)
+	alpha := []ActionID{0, 1}
+	// Next action (a) at level 1 worst case 50; fallback b at qmin wc 20.
+	// Slacks: a: 100-50=50; b: 100-50-20=30. Min 30.
+	theta := Assignment{1, 1}
+	if !QualConstWc(sys, alpha, theta, 30, 0) {
+		t.Error("t=30 should satisfy wc constraint")
+	}
+	if QualConstWc(sys, alpha, theta, 31, 0) {
+		t.Error("t=31 should violate wc constraint")
+	}
+}
+
+func TestTablesHandComputed(t *testing.T) {
+	sys := tinySystem(t)
+	alpha := []ActionID{0, 1}
+	tb := NewTables(sys, alpha)
+	// Level 1 at position 0: av slack = min(100-30, 100-60) = 40.
+	if got := tb.SlackAv[1][0]; got != 40 {
+		t.Errorf("SlackAv[1][0] = %v, want 40", got)
+	}
+	// wc slack = min(100-50, (100-20)-50) = 30.
+	if got := tb.SlackWc[1][0]; got != 30 {
+		t.Errorf("SlackWc[1][0] = %v, want 30", got)
+	}
+	// Level 0 position 1 (only b left): av slack = 100-10=90, wc = 100-20=80.
+	if got := tb.SlackAv[0][1]; got != 90 {
+		t.Errorf("SlackAv[0][1] = %v, want 90", got)
+	}
+	if got := tb.SlackWc[0][1]; got != 80 {
+		t.Errorf("SlackWc[0][1] = %v, want 80", got)
+	}
+	if !tb.Allowed(1, 0, 30) || tb.Allowed(1, 0, 31) {
+		t.Error("Allowed boundary at level 1 pos 0 wrong")
+	}
+}
+
+// The precomputed tables must agree with the direct predicate evaluation
+// at every position, level and a sweep of elapsed times. This is the
+// correctness statement for the prototype tool's fast path.
+func TestPropertyTablesMatchDirect(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		sys := randomSystem(r, 7, 4)
+		alpha := EDFSchedule(sys.Graph, sys.Cwc.AtIndex(0), sys.D.AtIndex(0))
+		tb := NewTables(sys, alpha)
+		base := NewAssignment(sys.Graph.Len(), sys.QMin())
+		for i := 0; i <= len(alpha); i++ {
+			for qi, q := range sys.Levels {
+				theta := base.OverrideFrom(alpha, i, q)
+				for _, tval := range []Cycles{0, 10, 50, 120, 500, 2000} {
+					dAv := QualConstAv(sys, alpha, theta, tval, i)
+					dWc := i >= len(alpha) || QualConstWc(sys, alpha, theta, tval, i)
+					if tb.AllowedAv(qi, i, tval) != dAv {
+						return false
+					}
+					if tb.AllowedWc(qi, i, tval) != dWc {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Monotonicity: if quality q is allowed at time t, it is allowed at any
+// earlier time; and a lower quality has at least as much slack.
+func TestPropertySlackMonotoneInLevel(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		sys := randomSystem(r, 7, 4)
+		alpha := EDFSchedule(sys.Graph, sys.Cwc.AtIndex(0), sys.D.AtIndex(0))
+		tb := NewTables(sys, alpha)
+		for i := 0; i < len(alpha); i++ {
+			for qi := 1; qi < len(sys.Levels); qi++ {
+				if tb.SlackAv[qi][i] > tb.SlackAv[qi-1][i] {
+					return false
+				}
+				if tb.SlackWc[qi][i] > tb.SlackWc[qi-1][i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubCost(t *testing.T) {
+	if subCost(Inf, 5) != Inf {
+		t.Error("Inf bound must stay Inf")
+	}
+	if subCost(100, Inf) != -Inf {
+		t.Error("Inf cost against finite bound must be -Inf")
+	}
+	if subCost(10, 3) != 7 {
+		t.Error("finite subCost wrong")
+	}
+	if subCost(Inf, Inf) != Inf {
+		t.Error("Inf bound with Inf cost must stay Inf (never binding)")
+	}
+}

@@ -1,0 +1,379 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Mode selects which constraints the Quality Manager enforces.
+type Mode int
+
+const (
+	// Hard enforces both Qual_Const^av and Qual_Const^wc: no deadline is
+	// ever missed provided actual times respect C ≤ Cwc_θ.
+	Hard Mode = iota
+	// Soft enforces only Qual_Const^av, as the paper prescribes for soft
+	// deadlines: budget use is optimised but misses remain possible.
+	Soft
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Hard:
+		return "hard"
+	case Soft:
+		return "soft"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Option configures a Controller.
+type Option func(*Controller)
+
+// WithMode selects hard (default) or soft constraint mode.
+func WithMode(m Mode) Option { return func(c *Controller) { c.mode = m } }
+
+// WithMaxStep bounds the upward variation of quality between consecutive
+// decisions to k levels (smoothness; downward moves stay unrestricted so
+// safety is never compromised). k <= 0 means unbounded.
+func WithMaxStep(k int) Option { return func(c *Controller) { c.maxStep = k } }
+
+// WithTables forces (true) or forbids (false) the precomputed-table fast
+// path. By default tables are used when the system has quality-
+// independent deadline order.
+func WithTables(use bool) Option { return func(c *Controller) { c.forceTables = boolPtr(use) } }
+
+// WithSchedule fixes the schedule order instead of the EDF order computed
+// at qmin. The sequence must be a schedule of the system's graph.
+func WithSchedule(alpha []ActionID) Option {
+	return func(c *Controller) { c.fixedAlpha = append([]ActionID(nil), alpha...) }
+}
+
+// WithEvaluator installs a custom admissibility evaluator (e.g.
+// IterativeTables) together with the schedule order it was built for.
+// The caller owns re-targeting the evaluator between cycles; Retarget is
+// unavailable in this configuration.
+func WithEvaluator(ev Evaluator, order []ActionID) Option {
+	return func(c *Controller) {
+		c.eval = ev
+		c.fixedAlpha = append([]ActionID(nil), order...)
+	}
+}
+
+func boolPtr(b bool) *bool { return &b }
+
+// Decision is the controller's choice for one step: run Action at quality
+// Level. Fallback is set when no level satisfied the constraints (the
+// environment exceeded its worst-case contract) and the controller
+// degraded to qmin.
+type Decision struct {
+	Action   ActionID
+	Level    Level
+	Fallback bool
+}
+
+// Controller incrementally computes a schedule α and quality assignment θ
+// for one cycle, per the abstract control algorithm of section 2.2. Use
+// Next to obtain the decision for the coming action and Completed to
+// report its observed completion time; repeat until Done.
+//
+// A Controller is not safe for concurrent use.
+type Controller struct {
+	sys     *System
+	mode    Mode
+	maxStep int
+
+	forceTables *bool
+	fixedAlpha  []ActionID
+
+	useTables bool
+	eval      Evaluator
+
+	alpha []ActionID
+	theta Assignment // committed levels for executed positions
+	tail  Level      // implicit level of all unexecuted positions
+	i     int
+	t     Cycles
+	last  Level
+	stats ControllerStats
+}
+
+// ControllerStats accumulates per-cycle controller behaviour.
+type ControllerStats struct {
+	Decisions     int   // calls to Next
+	Fallbacks     int   // decisions where no level was admissible
+	LevelSum      int64 // sum of chosen levels (for mean quality)
+	LevelChanges  int   // decisions that changed level vs previous action
+	CandidateEval int   // quality-constraint evaluations performed
+}
+
+// NewController builds a controller for the system. In Hard mode the
+// system must be schedulable at minimal quality under worst-case times
+// (the problem's precondition); otherwise an error is returned.
+func NewController(sys *System, opts ...Option) (*Controller, error) {
+	c := &Controller{sys: sys, maxStep: 0, last: -1}
+	for _, opt := range opts {
+		opt(c)
+	}
+	if c.mode == Hard && !sys.FeasibleAtQmin() {
+		return nil, errors.New("core: no feasible schedule at qmin under worst-case times; hard control is impossible")
+	}
+	if c.fixedAlpha != nil {
+		if !sys.Graph.IsSchedule(c.fixedAlpha) {
+			return nil, errors.New("core: WithSchedule sequence is not a schedule of the graph")
+		}
+		c.alpha = c.fixedAlpha
+	} else {
+		c.alpha = EDFSchedule(sys.Graph, sys.Cwc.AtIndex(0), sys.D.AtIndex(0))
+	}
+	if c.eval != nil {
+		// A custom evaluator (e.g. IterativeTables) implies the table
+		// fast path along the supplied order.
+		c.useTables = true
+	} else {
+		uniform := sys.UniformDeadlines()
+		c.useTables = uniform
+		if c.forceTables != nil {
+			if *c.forceTables && !uniform {
+				return nil, errors.New("core: tables requested but deadline order depends on quality")
+			}
+			c.useTables = *c.forceTables
+		}
+		if c.useTables {
+			c.eval = NewTables(sys, c.alpha)
+		}
+	}
+	c.theta = NewAssignment(sys.Graph.Len(), sys.QMin())
+	c.tail = sys.QMin()
+	return c, nil
+}
+
+// Reset prepares the controller for a new cycle, keeping configuration
+// and precomputed tables.
+func (c *Controller) Reset() {
+	c.i = 0
+	c.t = 0
+	c.last = -1
+	for j := range c.theta {
+		c.theta[j] = c.sys.QMin()
+	}
+	c.tail = c.sys.QMin()
+	c.stats = ControllerStats{}
+}
+
+// Retarget replaces the system's deadline family (e.g. when the cycle's
+// time budget changes between frames) and rebuilds the precomputed
+// tables. The schedule order is recomputed at qmin. The controller must
+// be at a cycle boundary (Reset or Done).
+func (c *Controller) Retarget(d *TimeFamily) error {
+	if c.i != 0 && !c.Done() {
+		return errors.New("core: Retarget mid-cycle")
+	}
+	if _, ok := c.eval.(*Tables); c.eval != nil && !ok {
+		return errors.New("core: Retarget with a custom evaluator; re-target the evaluator instead")
+	}
+	sys := *c.sys
+	sys.D = d
+	if err := sys.Validate(); err != nil {
+		return err
+	}
+	if c.mode == Hard && !sys.FeasibleAtQmin() {
+		return errors.New("core: retargeted deadlines are infeasible at qmin under worst-case times")
+	}
+	c.sys = &sys
+	if c.fixedAlpha == nil {
+		c.alpha = EDFSchedule(sys.Graph, sys.Cwc.AtIndex(0), sys.D.AtIndex(0))
+	}
+	if c.useTables {
+		if !sys.UniformDeadlines() {
+			return errors.New("core: retargeted deadline order depends on quality; tables impossible")
+		}
+		c.eval = NewTables(&sys, c.alpha)
+	}
+	return nil
+}
+
+// Done reports whether all actions of the cycle have been scheduled.
+func (c *Controller) Done() bool { return c.i >= len(c.alpha) }
+
+// Elapsed returns the controller's view of elapsed time in the cycle.
+func (c *Controller) Elapsed() Cycles { return c.t }
+
+// Position returns the number of completed actions.
+func (c *Controller) Position() int { return c.i }
+
+// Schedule returns the schedule α computed so far (complete order).
+func (c *Controller) Schedule() []ActionID { return append([]ActionID(nil), c.alpha...) }
+
+// Assignment returns a copy of the current quality assignment θ:
+// committed levels for executed positions, the current tail level for
+// the rest.
+func (c *Controller) Assignment() Assignment {
+	out := c.theta.Clone()
+	for j := c.i; j < len(c.alpha); j++ {
+		out[c.alpha[j]] = c.tail
+	}
+	return out
+}
+
+// Stats returns the statistics accumulated since the last Reset.
+func (c *Controller) Stats() ControllerStats { return c.stats }
+
+// Next computes the decision for the coming action: the maximal quality
+// level admissible at the current elapsed time. It implements one
+// iteration of the abstract algorithm: build θ_q = θ ▷_i q for each q,
+// compute α_q = Best_Sched(α, θ_q, i), and take qM = max{q |
+// Qual_Const(α_q, θ_q, t, i)}.
+func (c *Controller) Next() (Decision, error) {
+	if c.Done() {
+		return Decision{}, errors.New("core: cycle complete; Reset before reuse")
+	}
+	c.stats.Decisions++
+	levels := c.sys.Levels
+	hi := len(levels) - 1
+	if c.maxStep > 0 && c.last >= 0 {
+		if lim := levels.Index(c.last) + c.maxStep; lim < hi {
+			hi = lim
+		}
+	}
+	chosen := -1
+	if c.useTables {
+		for qi := hi; qi >= 0; qi-- {
+			c.stats.CandidateEval++
+			if c.allowedTables(qi) {
+				chosen = qi
+				break
+			}
+		}
+	} else {
+		for qi := hi; qi >= 0; qi-- {
+			c.stats.CandidateEval++
+			if c.allowedDirect(qi) {
+				chosen = qi
+				break
+			}
+		}
+	}
+	d := Decision{}
+	if chosen < 0 {
+		// The environment exceeded its worst-case contract (or the soft
+		// system is overloaded). Degrade to qmin and continue.
+		chosen = 0
+		d.Fallback = true
+		c.stats.Fallbacks++
+	}
+	q := levels[chosen]
+	// Commit: θ := θ ▷_i qM. Only the executed action's level needs to
+	// be materialised; the tail is implicitly at qM (tracked in c.tail)
+	// and is overridden anyway by the next decision's θ ▷ q. α is
+	// unchanged (table path) or was re-derived by Best_Sched in
+	// allowedDirect (direct path).
+	c.theta[c.alpha[c.i]] = q
+	c.tail = q
+	d.Action = c.alpha[c.i]
+	d.Level = q
+	if c.last >= 0 && q != c.last {
+		c.stats.LevelChanges++
+	}
+	c.last = q
+	c.stats.LevelSum += int64(q)
+	return d, nil
+}
+
+func (c *Controller) allowedTables(qi int) bool {
+	if c.mode == Soft {
+		return c.eval.AllowedAv(qi, c.i, c.t)
+	}
+	return Allowed(c.eval, qi, c.i, c.t)
+}
+
+func (c *Controller) allowedDirect(qi int) bool {
+	q := c.sys.Levels[qi]
+	thetaQ := c.theta.OverrideFrom(c.alpha, c.i, q)
+	alphaQ := BestSched(c.sys, c.alpha, thetaQ, c.i)
+	var ok bool
+	if c.mode == Soft {
+		ok = QualConstAv(c.sys, alphaQ, thetaQ, c.t, c.i)
+	} else {
+		ok = QualConstAv(c.sys, alphaQ, thetaQ, c.t, c.i) &&
+			QualConstWc(c.sys, alphaQ, thetaQ, c.t, c.i)
+	}
+	if ok {
+		copy(c.alpha[c.i:], alphaQ[c.i:])
+	}
+	return ok
+}
+
+// Completed reports that the action returned by the last Next finished
+// after consuming actual cycles. The controller advances its position and
+// its elapsed-time view.
+func (c *Controller) Completed(actual Cycles) {
+	if actual < 0 {
+		actual = 0
+	}
+	c.t = c.t.AddSat(actual)
+	c.i++
+}
+
+// RunCycle drives a full cycle against exec, which runs one action at a
+// quality and returns the actual cycles consumed. It returns the realised
+// schedule, assignment, total elapsed time and whether any deadline was
+// missed (checked against D_θ).
+func (c *Controller) RunCycle(exec func(ActionID, Level) Cycles) (CycleResult, error) {
+	res := CycleResult{}
+	for !c.Done() {
+		d, err := c.Next()
+		if err != nil {
+			return res, err
+		}
+		actual := exec(d.Action, d.Level)
+		deadline := c.sys.D.At(d.Level, d.Action)
+		c.Completed(actual)
+		if !deadline.IsInf() && c.t > deadline {
+			res.Misses++
+		}
+		if d.Fallback {
+			res.Fallbacks++
+		}
+		res.Trace = append(res.Trace, StepTrace{
+			Action: d.Action, Level: d.Level, Actual: actual, Finish: c.t,
+		})
+	}
+	res.Elapsed = c.t
+	res.Assignment = c.Assignment()
+	res.Schedule = c.Schedule()
+	res.Stats = c.stats
+	return res, nil
+}
+
+// StepTrace records one executed action.
+type StepTrace struct {
+	Action ActionID
+	Level  Level
+	Actual Cycles
+	Finish Cycles
+}
+
+// CycleResult summarises one controlled cycle.
+type CycleResult struct {
+	Schedule   []ActionID
+	Assignment Assignment
+	Trace      []StepTrace
+	Elapsed    Cycles
+	Misses     int
+	Fallbacks  int
+	Stats      ControllerStats
+}
+
+// MeanLevel returns the mean chosen quality level over the cycle.
+func (r CycleResult) MeanLevel() float64 {
+	if len(r.Trace) == 0 {
+		return 0
+	}
+	var s int64
+	for _, st := range r.Trace {
+		s += int64(st.Level)
+	}
+	return float64(s) / float64(len(r.Trace))
+}

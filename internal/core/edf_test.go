@@ -1,0 +1,244 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestModifiedDeadlinesChain(t *testing.T) {
+	// a -> b -> c with C = (1, 2, 3), D = (inf, inf, 10).
+	b := NewGraphBuilder()
+	b.AddAction("a")
+	b.AddAction("b")
+	b.AddAction("c")
+	b.AddEdge("a", "b")
+	b.AddEdge("b", "c")
+	g := mustGraph(t, b)
+	c := TimeFn{1, 2, 3}
+	d := TimeFn{Inf, Inf, 10}
+	got := ModifiedDeadlines(g, c, d)
+	// D*(c) = 10; D*(b) = 10-3 = 7; D*(a) = 7-2 = 5.
+	if got[2] != 10 || got[1] != 7 || got[0] != 5 {
+		t.Fatalf("ModifiedDeadlines = %v, want [5 7 10]", got)
+	}
+}
+
+func TestModifiedDeadlinesTakesMin(t *testing.T) {
+	// a -> b, with a's own deadline tighter than inherited.
+	b := NewGraphBuilder()
+	b.AddAction("a")
+	b.AddAction("b")
+	b.AddEdge("a", "b")
+	g := mustGraph(t, b)
+	c := TimeFn{1, 2}
+	d := TimeFn{3, 100}
+	got := ModifiedDeadlines(g, c, d)
+	if got[0] != 3 {
+		t.Fatalf("D*(a) = %v, want own deadline 3", got[0])
+	}
+}
+
+func TestEDFScheduleRespectsPrecedence(t *testing.T) {
+	g := diamond(t)
+	c := NewTimeFn(4, 10)
+	d := TimeFn{100, 50, 40, 200}
+	alpha := EDFSchedule(g, c, d)
+	if !g.IsSchedule(alpha) {
+		t.Fatalf("EDF output %v is not a schedule", alpha)
+	}
+	// c (deadline 40) must run before b (deadline 50).
+	pos := make(map[ActionID]int)
+	for i, a := range alpha {
+		pos[a] = i
+	}
+	bID, _ := g.Lookup("b")
+	cID, _ := g.Lookup("c")
+	if pos[cID] > pos[bID] {
+		t.Errorf("EDF order %v: c should precede b", alpha)
+	}
+}
+
+func TestEDFCompleteFromKeepsPrefix(t *testing.T) {
+	g := diamond(t)
+	c := NewTimeFn(4, 10)
+	d := TimeFn{100, 50, 40, 200}
+	aID, _ := g.Lookup("a")
+	bID, _ := g.Lookup("b")
+	alpha := EDFCompleteFrom(g, c, d, []ActionID{aID, bID})
+	if !g.IsSchedule(alpha) {
+		t.Fatalf("not a schedule: %v", alpha)
+	}
+	if alpha[0] != aID || alpha[1] != bID {
+		t.Fatalf("prefix not preserved: %v", alpha)
+	}
+}
+
+// Witness for the deadline-modification design choice: raw EDF runs the
+// independent action first (its raw deadline beats the predecessor's
+// +inf) and misses the successor's deadline; modified EDF inherits the
+// urgency and stays feasible.
+func TestDeadlineModificationAblation(t *testing.T) {
+	b := NewGraphBuilder()
+	b.AddAction("a") // no own deadline, feeds b
+	b.AddAction("b") // tight deadline 10
+	b.AddAction("c") // independent, deadline 16
+	b.AddEdge("a", "b")
+	g := mustGraph(t, b)
+	c := TimeFn{5, 4, 6}
+	d := TimeFn{Inf, 10, 16}
+	modified := EDFSchedule(g, c, d)
+	if !Feasible(modified, c, d) {
+		t.Fatalf("modified EDF infeasible: %v", modified)
+	}
+	raw := EDFScheduleUnmodified(g, d)
+	if !g.IsSchedule(raw) {
+		t.Fatalf("raw EDF invalid: %v", raw)
+	}
+	if Feasible(raw, c, d) {
+		t.Fatalf("raw EDF unexpectedly feasible (%v); witness no longer distinguishes", raw)
+	}
+}
+
+// Raw EDF always yields valid schedules, and can never beat modified EDF
+// on feasibility (modified is optimal).
+func TestPropertyRawEDFNeverBeatsModified(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(7)
+		g := randomDAG(r, n, 0.35)
+		c := make(TimeFn, n)
+		d := make(TimeFn, n)
+		for a := 0; a < n; a++ {
+			c[a] = Cycles(1 + r.Intn(20))
+			if r.Intn(4) == 0 {
+				d[a] = Inf
+			} else {
+				d[a] = Cycles(r.Intn(n * 15))
+			}
+		}
+		raw := EDFScheduleUnmodified(g, d)
+		if !g.IsSchedule(raw) {
+			return false
+		}
+		if Feasible(raw, c, d) && !Feasible(EDFSchedule(g, c, d), c, d) {
+			return false // raw feasible but modified not: impossible
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// bruteForceFeasible searches all schedules for one feasible w.r.t. c, d.
+func bruteForceFeasible(g *Graph, c, d TimeFn) bool {
+	n := g.Len()
+	done := make([]bool, n)
+	remaining := make([]int, n)
+	for a := 0; a < n; a++ {
+		remaining[a] = len(g.Preds(ActionID(a)))
+	}
+	var acc Cycles
+	var rec func(placed int) bool
+	rec = func(placed int) bool {
+		if placed == n {
+			return true
+		}
+		for a := 0; a < n; a++ {
+			if done[a] || remaining[a] > 0 {
+				continue
+			}
+			fin := acc.AddSat(c[a])
+			if !d[a].IsInf() && fin > d[a] {
+				continue // pruning is safe: deadlines are static
+			}
+			done[a] = true
+			save := acc
+			acc = fin
+			for _, s := range g.Succs(ActionID(a)) {
+				remaining[s]--
+			}
+			if rec(placed + 1) {
+				return true
+			}
+			for _, s := range g.Succs(ActionID(a)) {
+				remaining[s]++
+			}
+			acc = save
+			done[a] = false
+		}
+		return false
+	}
+	return rec(0)
+}
+
+// EDF optimality on a single processor with precedence: the EDF schedule
+// on modified deadlines is feasible iff any feasible schedule exists.
+func TestPropertyEDFOptimal(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(7)
+		g := randomDAG(r, n, 0.35)
+		c := make(TimeFn, n)
+		d := make(TimeFn, n)
+		for a := 0; a < n; a++ {
+			c[a] = Cycles(1 + r.Intn(20))
+			if r.Intn(4) == 0 {
+				d[a] = Inf
+			} else {
+				d[a] = Cycles(r.Intn(n * 15))
+			}
+		}
+		edf := EDFSchedule(g, c, d)
+		if !g.IsSchedule(edf) {
+			return false
+		}
+		return Feasible(edf, c, d) == bruteForceFeasible(g, c, d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyEDFDeterministic(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomDAG(r, 9, 0.3)
+		c := make(TimeFn, g.Len())
+		d := make(TimeFn, g.Len())
+		for a := range c {
+			c[a] = Cycles(r.Intn(10))
+			d[a] = Cycles(r.Intn(100))
+		}
+		a1 := EDFSchedule(g, c, d)
+		a2 := EDFSchedule(g, c, d)
+		for i := range a1 {
+			if a1[i] != a2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBestSchedPrefixCompatibility(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	sys := randomSystem(r, 8, 4)
+	alpha := EDFSchedule(sys.Graph, sys.Cwc.AtIndex(0), sys.D.AtIndex(0))
+	theta := NewAssignment(sys.Graph.Len(), sys.QMax())
+	for i := 0; i <= len(alpha); i++ {
+		got := BestSched(sys, alpha, theta, i)
+		if !sys.Graph.IsSchedule(got) {
+			t.Fatalf("BestSched at i=%d produced invalid schedule", i)
+		}
+		for j := 0; j < i; j++ {
+			if got[j] != alpha[j] {
+				t.Fatalf("BestSched at i=%d changed prefix position %d", i, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,333 @@
+// Package core implements the fine-grain QoS control method of
+// Combaz, Fernandez, Lepley and Sifakis, "Fine Grain QoS Control for
+// Multimedia Application Software" (DATE 2005).
+//
+// The package models an application as a precedence graph of atomic
+// actions with quality-level parameters, and provides the controller
+// (Scheduler + Quality Manager) that picks, after each completed action,
+// the next action to run and the maximal quality level that keeps the
+// remaining cycle feasible.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ActionID identifies an action within a Graph. IDs are dense and start
+// at zero; they index every per-action table in this package.
+type ActionID int
+
+// Graph is an immutable precedence graph G = (A, →). An edge a → b means
+// b can start only after a has completed. Graphs are built with
+// GraphBuilder and are guaranteed acyclic.
+type Graph struct {
+	names []string
+	index map[string]ActionID
+	succs [][]ActionID
+	preds [][]ActionID
+	topo  []ActionID // one valid topological order, by construction
+}
+
+// GraphBuilder accumulates actions and precedence edges and validates
+// them into a Graph.
+type GraphBuilder struct {
+	names []string
+	index map[string]ActionID
+	edges map[[2]ActionID]struct{}
+	err   error
+}
+
+// NewGraphBuilder returns an empty builder.
+func NewGraphBuilder() *GraphBuilder {
+	return &GraphBuilder{
+		index: make(map[string]ActionID),
+		edges: make(map[[2]ActionID]struct{}),
+	}
+}
+
+// AddAction declares an action with the given name and returns its ID.
+// Declaring the same name twice returns the existing ID.
+func (b *GraphBuilder) AddAction(name string) ActionID {
+	if id, ok := b.index[name]; ok {
+		return id
+	}
+	id := ActionID(len(b.names))
+	b.names = append(b.names, name)
+	b.index[name] = id
+	return id
+}
+
+// AddEdge records a precedence a → b. Both endpoints must already be
+// declared; unknown endpoints are recorded as an error reported by Build.
+func (b *GraphBuilder) AddEdge(from, to string) {
+	fi, ok1 := b.index[from]
+	ti, ok2 := b.index[to]
+	if !ok1 || !ok2 {
+		if b.err == nil {
+			b.err = fmt.Errorf("core: edge %q -> %q references undeclared action", from, to)
+		}
+		return
+	}
+	if fi == ti {
+		if b.err == nil {
+			b.err = fmt.Errorf("core: self edge on %q", from)
+		}
+		return
+	}
+	b.edges[[2]ActionID{fi, ti}] = struct{}{}
+}
+
+// Build validates the accumulated actions and edges and returns the
+// immutable Graph. It fails if the graph has no actions, references
+// undeclared actions, or contains a cycle.
+func (b *GraphBuilder) Build() (*Graph, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	n := len(b.names)
+	if n == 0 {
+		return nil, fmt.Errorf("core: graph has no actions")
+	}
+	g := &Graph{
+		names: append([]string(nil), b.names...),
+		index: make(map[string]ActionID, n),
+		succs: make([][]ActionID, n),
+		preds: make([][]ActionID, n),
+	}
+	for name, id := range b.index {
+		g.index[name] = id
+	}
+	type edge struct{ from, to ActionID }
+	edges := make([]edge, 0, len(b.edges))
+	for e := range b.edges {
+		edges = append(edges, edge{e[0], e[1]})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].from != edges[j].from {
+			return edges[i].from < edges[j].from
+		}
+		return edges[i].to < edges[j].to
+	})
+	for _, e := range edges {
+		g.succs[e.from] = append(g.succs[e.from], e.to)
+		g.preds[e.to] = append(g.preds[e.to], e.from)
+	}
+	topo, err := topoSort(g)
+	if err != nil {
+		return nil, err
+	}
+	g.topo = topo
+	return g, nil
+}
+
+// topoSort returns a deterministic topological order (Kahn's algorithm,
+// smallest-ID-first) or an error naming a cycle participant.
+func topoSort(g *Graph) ([]ActionID, error) {
+	n := g.Len()
+	indeg := make([]int, n)
+	for a := 0; a < n; a++ {
+		indeg[a] = len(g.preds[a])
+	}
+	// Min-heap behaviour via sorted ready list keeps the order stable.
+	ready := make([]ActionID, 0, n)
+	for a := 0; a < n; a++ {
+		if indeg[a] == 0 {
+			ready = append(ready, ActionID(a))
+		}
+	}
+	order := make([]ActionID, 0, n)
+	for len(ready) > 0 {
+		// Pop the smallest ready ID.
+		best := 0
+		for i := 1; i < len(ready); i++ {
+			if ready[i] < ready[best] {
+				best = i
+			}
+		}
+		a := ready[best]
+		ready = append(ready[:best], ready[best+1:]...)
+		order = append(order, a)
+		for _, s := range g.succs[a] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				ready = append(ready, s)
+			}
+		}
+	}
+	if len(order) != n {
+		for a := 0; a < n; a++ {
+			if indeg[a] > 0 {
+				return nil, fmt.Errorf("core: precedence graph has a cycle through %q", g.names[a])
+			}
+		}
+	}
+	return order, nil
+}
+
+// Len returns the number of actions |A|.
+func (g *Graph) Len() int { return len(g.names) }
+
+// Name returns the name of action a.
+func (g *Graph) Name(a ActionID) string { return g.names[a] }
+
+// Names returns a copy of all action names indexed by ActionID.
+func (g *Graph) Names() []string { return append([]string(nil), g.names...) }
+
+// Lookup returns the ActionID for name.
+func (g *Graph) Lookup(name string) (ActionID, bool) {
+	id, ok := g.index[name]
+	return id, ok
+}
+
+// Succs returns the direct successors of a (actions that require a).
+func (g *Graph) Succs(a ActionID) []ActionID { return g.succs[a] }
+
+// Preds returns the direct predecessors of a.
+func (g *Graph) Preds(a ActionID) []ActionID { return g.preds[a] }
+
+// Topo returns a valid topological order of all actions.
+func (g *Graph) Topo() []ActionID { return append([]ActionID(nil), g.topo...) }
+
+// Sources returns the actions with no predecessors.
+func (g *Graph) Sources() []ActionID {
+	var out []ActionID
+	for a := 0; a < g.Len(); a++ {
+		if len(g.preds[a]) == 0 {
+			out = append(out, ActionID(a))
+		}
+	}
+	return out
+}
+
+// Sinks returns the actions with no successors.
+func (g *Graph) Sinks() []ActionID {
+	var out []ActionID
+	for a := 0; a < g.Len(); a++ {
+		if len(g.succs[a]) == 0 {
+			out = append(out, ActionID(a))
+		}
+	}
+	return out
+}
+
+// IsExecutionSequence reports whether seq is an execution sequence of g:
+// distinct actions, order compatible with the precedence relation, and
+// every prefix closed under predecessors.
+func (g *Graph) IsExecutionSequence(seq []ActionID) bool {
+	pos := make([]int, g.Len())
+	for i := range pos {
+		pos[i] = -1
+	}
+	for i, a := range seq {
+		if a < 0 || int(a) >= g.Len() || pos[a] >= 0 {
+			return false
+		}
+		pos[a] = i
+	}
+	for _, a := range seq {
+		for _, p := range g.preds[a] {
+			if pos[p] < 0 || pos[p] > pos[a] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsSchedule reports whether seq is a schedule: an execution sequence in
+// which every action of A occurs.
+func (g *Graph) IsSchedule(seq []ActionID) bool {
+	return len(seq) == g.Len() && g.IsExecutionSequence(seq)
+}
+
+// Reachable reports whether b is reachable from a by following edges.
+func (g *Graph) Reachable(a, b ActionID) bool {
+	if a == b {
+		return true
+	}
+	seen := make([]bool, g.Len())
+	stack := []ActionID{a}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if x == b {
+			return true
+		}
+		for _, s := range g.succs[x] {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return false
+}
+
+// String renders the graph as "a -> b" lines in ID order, for debugging
+// and for the qosctl show command.
+func (g *Graph) String() string {
+	var sb strings.Builder
+	for a := 0; a < g.Len(); a++ {
+		if len(g.succs[a]) == 0 && len(g.preds[a]) == 0 {
+			fmt.Fprintf(&sb, "%s\n", g.names[a])
+			continue
+		}
+		for _, s := range g.succs[a] {
+			fmt.Fprintf(&sb, "%s -> %s\n", g.names[a], g.names[s])
+		}
+	}
+	return sb.String()
+}
+
+// Unroll builds the iteration of g n times: the graph whose actions are
+// n copies of g's actions (named "name#k" for iteration k), with g's
+// edges inside each copy and, when chain is true, edges from every sink
+// of copy k to every source of copy k+1. This models the paper's frame
+// treatment: the iteration N times of a macroblock body.
+func (g *Graph) Unroll(n int, chain bool) (*Graph, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("core: Unroll count %d must be positive", n)
+	}
+	b := NewGraphBuilder()
+	name := func(a ActionID, k int) string {
+		return fmt.Sprintf("%s#%d", g.names[a], k)
+	}
+	for k := 0; k < n; k++ {
+		for a := 0; a < g.Len(); a++ {
+			b.AddAction(name(ActionID(a), k))
+		}
+	}
+	for k := 0; k < n; k++ {
+		for a := 0; a < g.Len(); a++ {
+			for _, s := range g.succs[a] {
+				b.AddEdge(name(ActionID(a), k), name(s, k))
+			}
+		}
+	}
+	if chain {
+		sinks, sources := g.Sinks(), g.Sources()
+		for k := 0; k+1 < n; k++ {
+			for _, s := range sinks {
+				for _, src := range sources {
+					b.AddEdge(name(s, k), name(src, k+1))
+				}
+			}
+		}
+	}
+	return b.Build()
+}
+
+// UnrolledID returns, for a graph produced by Unroll, the ID in the
+// unrolled graph of base action a in iteration k.
+func UnrolledID(base *Graph, a ActionID, k int) ActionID {
+	return ActionID(k*base.Len() + int(a))
+}
+
+// BaseOf returns, for an ID in a graph produced by Unroll, the base
+// action and iteration index it came from.
+func BaseOf(base *Graph, a ActionID) (ActionID, int) {
+	n := base.Len()
+	return ActionID(int(a) % n), int(a) / n
+}

@@ -1,0 +1,269 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustGraph(t *testing.T, b *GraphBuilder) *Graph {
+	t.Helper()
+	g, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return g
+}
+
+// diamond builds a -> {b, c} -> d.
+func diamond(t *testing.T) *Graph {
+	t.Helper()
+	b := NewGraphBuilder()
+	for _, n := range []string{"a", "b", "c", "d"} {
+		b.AddAction(n)
+	}
+	b.AddEdge("a", "b")
+	b.AddEdge("a", "c")
+	b.AddEdge("b", "d")
+	b.AddEdge("c", "d")
+	return mustGraph(t, b)
+}
+
+func TestGraphBuilderBasics(t *testing.T) {
+	g := diamond(t)
+	if g.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", g.Len())
+	}
+	a, ok := g.Lookup("a")
+	if !ok || g.Name(a) != "a" {
+		t.Fatalf("Lookup/Name roundtrip failed")
+	}
+	if got := len(g.Succs(a)); got != 2 {
+		t.Errorf("Succs(a) = %d, want 2", got)
+	}
+	d, _ := g.Lookup("d")
+	if got := len(g.Preds(d)); got != 2 {
+		t.Errorf("Preds(d) = %d, want 2", got)
+	}
+	if srcs := g.Sources(); len(srcs) != 1 || srcs[0] != a {
+		t.Errorf("Sources = %v, want [a]", srcs)
+	}
+	if sinks := g.Sinks(); len(sinks) != 1 || sinks[0] != d {
+		t.Errorf("Sinks = %v, want [d]", sinks)
+	}
+}
+
+func TestGraphBuilderDuplicateAction(t *testing.T) {
+	b := NewGraphBuilder()
+	id1 := b.AddAction("x")
+	id2 := b.AddAction("x")
+	if id1 != id2 {
+		t.Fatalf("duplicate AddAction returned %d then %d", id1, id2)
+	}
+}
+
+func TestGraphBuilderErrors(t *testing.T) {
+	t.Run("empty", func(t *testing.T) {
+		if _, err := NewGraphBuilder().Build(); err == nil {
+			t.Fatal("empty graph built without error")
+		}
+	})
+	t.Run("undeclared edge endpoint", func(t *testing.T) {
+		b := NewGraphBuilder()
+		b.AddAction("a")
+		b.AddEdge("a", "ghost")
+		if _, err := b.Build(); err == nil {
+			t.Fatal("edge to undeclared action accepted")
+		}
+	})
+	t.Run("self edge", func(t *testing.T) {
+		b := NewGraphBuilder()
+		b.AddAction("a")
+		b.AddEdge("a", "a")
+		if _, err := b.Build(); err == nil {
+			t.Fatal("self edge accepted")
+		}
+	})
+	t.Run("cycle", func(t *testing.T) {
+		b := NewGraphBuilder()
+		b.AddAction("a")
+		b.AddAction("b")
+		b.AddAction("c")
+		b.AddEdge("a", "b")
+		b.AddEdge("b", "c")
+		b.AddEdge("c", "a")
+		if _, err := b.Build(); err == nil {
+			t.Fatal("cyclic graph accepted")
+		}
+	})
+}
+
+func TestTopoIsExecutionSequence(t *testing.T) {
+	g := diamond(t)
+	if !g.IsSchedule(g.Topo()) {
+		t.Fatalf("Topo() = %v is not a schedule", g.Topo())
+	}
+}
+
+func TestIsExecutionSequence(t *testing.T) {
+	g := diamond(t)
+	id := func(n string) ActionID { a, _ := g.Lookup(n); return a }
+	cases := []struct {
+		name string
+		seq  []string
+		want bool
+	}{
+		{"valid full abcd", []string{"a", "b", "c", "d"}, true},
+		{"valid full acbd", []string{"a", "c", "b", "d"}, true},
+		{"valid prefix", []string{"a", "b"}, true},
+		{"missing predecessor", []string{"b"}, false},
+		{"wrong order", []string{"a", "d", "b", "c"}, false},
+		{"duplicate", []string{"a", "a"}, false},
+		{"empty", nil, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			seq := make([]ActionID, len(tc.seq))
+			for i, n := range tc.seq {
+				seq[i] = id(n)
+			}
+			if got := g.IsExecutionSequence(seq); got != tc.want {
+				t.Errorf("IsExecutionSequence(%v) = %v, want %v", tc.seq, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestReachable(t *testing.T) {
+	g := diamond(t)
+	id := func(n string) ActionID { a, _ := g.Lookup(n); return a }
+	if !g.Reachable(id("a"), id("d")) {
+		t.Error("a should reach d")
+	}
+	if g.Reachable(id("b"), id("c")) {
+		t.Error("b should not reach c")
+	}
+	if !g.Reachable(id("b"), id("b")) {
+		t.Error("b should reach itself")
+	}
+}
+
+func TestUnrollChained(t *testing.T) {
+	g := diamond(t)
+	u, err := g.Unroll(3, true)
+	if err != nil {
+		t.Fatalf("Unroll: %v", err)
+	}
+	if u.Len() != 12 {
+		t.Fatalf("unrolled Len = %d, want 12", u.Len())
+	}
+	if !u.IsSchedule(u.Topo()) {
+		t.Fatal("unrolled topo is not a schedule")
+	}
+	// Chaining: d#0 -> a#1 must exist, so a#1 unreachable before d#0.
+	d0, ok1 := u.Lookup("d#0")
+	a1, ok2 := u.Lookup("a#1")
+	if !ok1 || !ok2 {
+		t.Fatal("unrolled names missing")
+	}
+	if !u.Reachable(d0, a1) {
+		t.Error("chained unroll: d#0 should precede a#1")
+	}
+	// ID layout helpers.
+	a, _ := g.Lookup("a")
+	if got := UnrolledID(g, a, 1); got != a1 {
+		t.Errorf("UnrolledID = %d, want %d", got, a1)
+	}
+	base, k := BaseOf(g, a1)
+	if base != a || k != 1 {
+		t.Errorf("BaseOf = (%d,%d), want (%d,1)", base, k, a)
+	}
+}
+
+func TestUnrollUnchained(t *testing.T) {
+	g := diamond(t)
+	u, err := g.Unroll(2, false)
+	if err != nil {
+		t.Fatalf("Unroll: %v", err)
+	}
+	d0, _ := u.Lookup("d#0")
+	a1, _ := u.Lookup("a#1")
+	if u.Reachable(d0, a1) {
+		t.Error("unchained unroll must not order iterations")
+	}
+}
+
+func TestUnrollInvalidCount(t *testing.T) {
+	g := diamond(t)
+	if _, err := g.Unroll(0, true); err == nil {
+		t.Fatal("Unroll(0) accepted")
+	}
+}
+
+// randomDAG builds a random DAG with n actions; edges only from lower to
+// higher IDs, so it is acyclic by construction.
+func randomDAG(r *rand.Rand, n int, p float64) *Graph {
+	b := NewGraphBuilder()
+	names := make([]string, n)
+	for i := 0; i < n; i++ {
+		names[i] = string(rune('A'+i%26)) + string(rune('0'+i/26))
+		b.AddAction(names[i])
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Float64() < p {
+				b.AddEdge(names[i], names[j])
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestPropertyTopoOfRandomDAGIsSchedule(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	f := func(seed int64, nRaw uint8, pRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + int(nRaw%12)
+		p := float64(pRaw%100) / 100
+		g := randomDAG(r, n, p)
+		return g.IsSchedule(g.Topo())
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyEdgeRespectedByTopo(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 100}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomDAG(r, 8, 0.4)
+		pos := make(map[ActionID]int)
+		for i, a := range g.Topo() {
+			pos[a] = i
+		}
+		for a := 0; a < g.Len(); a++ {
+			for _, s := range g.Succs(ActionID(a)) {
+				if pos[ActionID(a)] >= pos[s] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGraphString(t *testing.T) {
+	g := diamond(t)
+	s := g.String()
+	if s == "" {
+		t.Fatal("empty String()")
+	}
+}

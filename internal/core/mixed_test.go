@@ -1,0 +1,217 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// mixedSystem: chain a -> b -> c, two levels. b's deadline is soft and
+// deliberately tight; a and c are hard.
+//
+//	level 0: Cav=10 Cwc=20 each; level 1: Cav=30 Cwc=50 each
+//	D: a +inf, b 45 (soft), c 300 (hard)
+func mixedSystem(t *testing.T) *System {
+	t.Helper()
+	b := NewGraphBuilder()
+	b.AddAction("a")
+	b.AddAction("b")
+	b.AddAction("c")
+	b.AddEdge("a", "b")
+	b.AddEdge("b", "c")
+	g := mustGraph(t, b)
+	levels := NewLevelRange(0, 1)
+	cav := NewTimeFamily(levels, 3, 0)
+	cwc := NewTimeFamily(levels, 3, 0)
+	d := NewTimeFamily(levels, 3, Inf)
+	for a := ActionID(0); a < 3; a++ {
+		cav.Set(0, a, 10)
+		cwc.Set(0, a, 20)
+		cav.Set(1, a, 30)
+		cwc.Set(1, a, 50)
+	}
+	bID, _ := g.Lookup("b")
+	cID, _ := g.Lookup("c")
+	for _, q := range levels {
+		d.Set(q, bID, 45)
+		d.Set(q, cID, 300)
+	}
+	sys, err := NewSystem(g, levels, cav, cwc, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Soft = []bool{false, true, false} // b is soft
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestSoftMaskValidation(t *testing.T) {
+	sys := mixedSystem(t)
+	bad := *sys
+	bad.Soft = []bool{true}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("wrong-length soft mask accepted")
+	}
+}
+
+func TestHardDeadlinesMasksSoft(t *testing.T) {
+	sys := mixedSystem(t)
+	d := sys.HardDeadlines(0)
+	bID, _ := sys.Graph.Lookup("b")
+	cID, _ := sys.Graph.Lookup("c")
+	if !d[bID].IsInf() {
+		t.Error("soft deadline not masked")
+	}
+	if d[cID] != 300 {
+		t.Error("hard deadline modified")
+	}
+	if sys.IsSoft(bID) != true || sys.IsSoft(cID) != false {
+		t.Error("IsSoft wrong")
+	}
+}
+
+// The soft deadline (45 cycles for b at worst-case 20+20=40... at level
+// 1 it is hopeless) must not drag the safety constraint down: without
+// the soft mask the system is not even schedulable at qmin worst case
+// (a and b worst cases sum to 40 > ... 45 is fine actually — at level
+// differences what matters is the controller's level choice below).
+func TestMixedSoftDeadlineDoesNotBlockQuality(t *testing.T) {
+	sys := mixedSystem(t)
+	// With the mask, the wc constraint sees only c's 300-cycle deadline:
+	// level 1 everywhere is safe (50*3 = 150 <= 300). The av constraint
+	// still sees b's 45: at level 1, Cav(a)+Cav(b) = 60 > 45, so the
+	// controller must open at level 0 (optimality respects soft
+	// deadlines on average), then may raise.
+	ctrl := mustController(t, sys)
+	d1, err := ctrl.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.Level != 0 {
+		t.Fatalf("first decision level %d; the soft deadline should cap the average plan", d1.Level)
+	}
+
+	// Same system with the deadline hard: level 1 is rejected for the
+	// same av reason AND the wc fallback; additionally the whole system
+	// remains schedulable. Make b's deadline tight enough (35) that the
+	// hard variant is infeasible at qmin (20+20=40 > 35) while the soft
+	// variant still constructs.
+	tight := *sys
+	dt := NewTimeFamily(sys.Levels, 3, Inf)
+	bID, _ := sys.Graph.Lookup("b")
+	cID, _ := sys.Graph.Lookup("c")
+	for _, q := range sys.Levels {
+		dt.Set(q, bID, 35)
+		dt.Set(q, cID, 300)
+	}
+	tight.D = dt
+	tight.Soft = nil
+	if _, err := NewController(&tight); err == nil {
+		t.Fatal("hard 35-cycle deadline should be infeasible at qmin")
+	}
+	tight.Soft = []bool{false, true, false}
+	if _, err := NewController(&tight); err != nil {
+		t.Fatalf("soft 35-cycle deadline should not block hard control: %v", err)
+	}
+}
+
+// Hard deadlines stay inviolate in mixed systems under the contract;
+// soft deadlines may be missed.
+func TestPropertyMixedHardDeadlinesSafe(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		sys := randomSystem(r, 8, 4)
+		// Soften a random subset of actions.
+		soft := make([]bool, sys.Graph.Len())
+		any := false
+		for i := range soft {
+			if r.Intn(3) == 0 {
+				soft[i] = true
+				any = true
+			}
+		}
+		sys.Soft = soft
+		_ = any
+		if !sys.FeasibleAtQmin() {
+			return true // random softening cannot break feasibility, but guard anyway
+		}
+		c, err := NewController(sys)
+		if err != nil {
+			return false
+		}
+		hardMisses := 0
+		for !c.Done() {
+			d, err := c.Next()
+			if err != nil {
+				return false
+			}
+			actual := actualDraw(r, sys, d.Action, d.Level, 0.6)
+			dl := sys.D.At(d.Level, d.Action)
+			c.Completed(actual)
+			if !dl.IsInf() && c.Elapsed() > dl && !sys.IsSoft(d.Action) {
+				hardMisses++
+			}
+		}
+		return hardMisses == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Tables and direct evaluation agree on mixed systems too.
+func TestPropertyMixedTablesMatchDirect(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		sys := randomSystem(r, 6, 3)
+		soft := make([]bool, sys.Graph.Len())
+		for i := range soft {
+			soft[i] = r.Intn(2) == 0
+		}
+		sys.Soft = soft
+		alpha := EDFSchedule(sys.Graph, sys.Cwc.AtIndex(0), sys.D.AtIndex(0))
+		tb := NewTables(sys, alpha)
+		base := NewAssignment(sys.Graph.Len(), sys.QMin())
+		for i := 0; i < len(alpha); i++ {
+			for qi, q := range sys.Levels {
+				theta := base.OverrideFrom(alpha, i, q)
+				for _, tv := range []Cycles{0, 25, 100, 400, 1500} {
+					if tb.AllowedWc(qi, i, tv) != QualConstWc(sys, alpha, theta, tv, i) {
+						return false
+					}
+					if tb.AllowedAv(qi, i, tv) != QualConstAv(sys, alpha, theta, tv, i) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A mixed system where all actions are soft behaves like Soft mode for
+// the admissible set at every step.
+func TestAllSoftMaskMatchesSoftMode(t *testing.T) {
+	sys := mixedSystem(t)
+	all := *sys
+	all.Soft = []bool{true, true, true}
+	masked := mustController(t, &all)
+	softMode := mustController(t, sys, WithMode(Soft))
+	for !masked.Done() {
+		dm, err1 := masked.Next()
+		ds, err2 := softMode.Next()
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if dm.Level != ds.Level {
+			t.Fatalf("levels diverge: masked %d vs soft mode %d", dm.Level, ds.Level)
+		}
+		masked.Completed(15)
+		softMode.Completed(15)
+	}
+}

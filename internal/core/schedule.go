@@ -1,0 +1,64 @@
+package core
+
+// This file implements Definition 2.2: schedules, the prefix-sum operator
+// Ĉ, and feasibility min(D(α) − Ĉ(α)) ≥ 0.
+
+// PrefixSums returns Ĉ(α): the sequence whose i-th element is the sum of
+// C over the first i+1 elements of alpha (saturating at Inf).
+func PrefixSums(alpha []ActionID, c TimeFn) []Cycles {
+	out := make([]Cycles, len(alpha))
+	var acc Cycles
+	for i, a := range alpha {
+		acc = acc.AddSat(c[a])
+		out[i] = acc
+	}
+	return out
+}
+
+// MinSlack returns min(D(α) − Ĉ(α)) starting from elapsed time t0: the
+// minimum over positions i of D(α(i)) − (t0 + Ĉ(α)(i)). An empty alpha
+// has slack +Inf. A +Inf deadline contributes +Inf slack (never binding)
+// unless a +Inf execution time makes later finite deadlines unreachable.
+func MinSlack(alpha []ActionID, c, d TimeFn, t0 Cycles) Cycles {
+	minSlack := Inf
+	acc := t0
+	for _, a := range alpha {
+		acc = acc.AddSat(c[a])
+		var slack Cycles
+		if d[a].IsInf() {
+			slack = Inf
+		} else if acc.IsInf() {
+			slack = -Inf
+		} else {
+			slack = d[a] - acc
+		}
+		if slack < minSlack {
+			minSlack = slack
+		}
+	}
+	return minSlack
+}
+
+// Feasible reports whether alpha is a feasible schedule with respect to
+// execution times c and deadlines d (Definition 2.2).
+func Feasible(alpha []ActionID, c, d TimeFn) bool {
+	return MinSlack(alpha, c, d, 0) >= 0
+}
+
+// FeasibleFrom reports feasibility when execution starts at elapsed time
+// t0 since the beginning of the cycle (deadlines are absolute).
+func FeasibleFrom(alpha []ActionID, c, d TimeFn, t0 Cycles) bool {
+	return MinSlack(alpha, c, d, t0) >= 0
+}
+
+// CompletionTimes returns t0 + Ĉ(α): the absolute completion time of each
+// position of alpha when execution starts at t0 and consumes c.
+func CompletionTimes(alpha []ActionID, c TimeFn, t0 Cycles) []Cycles {
+	out := make([]Cycles, len(alpha))
+	acc := t0
+	for i, a := range alpha {
+		acc = acc.AddSat(c[a])
+		out[i] = acc
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPrefixSums(t *testing.T) {
+	c := TimeFn{5, 10, 20}
+	got := PrefixSums([]ActionID{0, 1, 2}, c)
+	want := []Cycles{5, 15, 35}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("PrefixSums[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if len(PrefixSums(nil, c)) != 0 {
+		t.Fatal("empty prefix sums should be empty")
+	}
+}
+
+func TestPrefixSumsSaturate(t *testing.T) {
+	c := TimeFn{Inf, 10}
+	got := PrefixSums([]ActionID{0, 1}, c)
+	if !got[0].IsInf() || !got[1].IsInf() {
+		t.Fatalf("saturation failed: %v", got)
+	}
+}
+
+func TestMinSlackAndFeasible(t *testing.T) {
+	// Two actions: c = (10, 20), d = (15, 40). Completion: 10, 30.
+	c := TimeFn{10, 20}
+	d := TimeFn{15, 40}
+	alpha := []ActionID{0, 1}
+	if got := MinSlack(alpha, c, d, 0); got != 5 {
+		t.Fatalf("MinSlack = %v, want 5", got)
+	}
+	if !Feasible(alpha, c, d) {
+		t.Fatal("schedule should be feasible")
+	}
+	// Starting 6 cycles late violates action 0's deadline.
+	if FeasibleFrom(alpha, c, d, 6) {
+		t.Fatal("late start should be infeasible")
+	}
+	if !FeasibleFrom(alpha, c, d, 5) {
+		t.Fatal("slack-exact start should be feasible")
+	}
+}
+
+func TestMinSlackInfDeadline(t *testing.T) {
+	c := TimeFn{10}
+	d := TimeFn{Inf}
+	if got := MinSlack([]ActionID{0}, c, d, 0); !got.IsInf() {
+		t.Fatalf("MinSlack with Inf deadline = %v, want Inf", got)
+	}
+}
+
+func TestMinSlackInfCostFiniteDeadline(t *testing.T) {
+	c := TimeFn{Inf, 1}
+	d := TimeFn{Inf, 100}
+	// Action 0 takes forever; action 1's finite deadline is unreachable.
+	if got := MinSlack([]ActionID{0, 1}, c, d, 0); got >= 0 {
+		t.Fatalf("MinSlack = %v, want negative", got)
+	}
+}
+
+func TestMinSlackEmpty(t *testing.T) {
+	if got := MinSlack(nil, nil, nil, 123); !got.IsInf() {
+		t.Fatalf("empty MinSlack = %v, want Inf", got)
+	}
+}
+
+func TestCompletionTimes(t *testing.T) {
+	c := TimeFn{3, 4}
+	got := CompletionTimes([]ActionID{0, 1}, c, 10)
+	if got[0] != 13 || got[1] != 17 {
+		t.Fatalf("CompletionTimes = %v", got)
+	}
+}
+
+// Feasibility definition cross-check: min(D − Ĉ) >= 0 iff every
+// completion time is within its deadline.
+func TestPropertyFeasibleMatchesDefinition(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(8)
+		alpha := make([]ActionID, n)
+		c := make(TimeFn, n)
+		d := make(TimeFn, n)
+		for i := 0; i < n; i++ {
+			alpha[i] = ActionID(i)
+			c[i] = Cycles(r.Intn(50))
+			if r.Intn(5) == 0 {
+				d[i] = Inf
+			} else {
+				d[i] = Cycles(r.Intn(300))
+			}
+		}
+		feas := Feasible(alpha, c, d)
+		// Direct check.
+		var acc Cycles
+		ok := true
+		for _, a := range alpha {
+			acc += c[a]
+			if !d[a].IsInf() && acc > d[a] {
+				ok = false
+			}
+		}
+		return feas == ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

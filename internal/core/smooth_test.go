@@ -1,0 +1,123 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAnalyzeSmoothnessTiny(t *testing.T) {
+	sys := tinySystem(t)
+	alpha := []ActionID{0, 1}
+	rep := AnalyzeSmoothness(sys, alpha)
+	// Position 0 at level 1: latest admission is min(40, 30) = 30;
+	// after Cwc_1(a) = 50 the time is 80. At position 1, level 1 needs
+	// t <= min(70, 50) = 50: inadmissible; level 0 needs t <= min(90,
+	// 80) = 80: exactly admissible. Worst drop is 1 -> 0.
+	if rep.MaxDrop != 1 {
+		t.Fatalf("MaxDrop = %d, want 1 (report %+v)", rep.MaxDrop, rep)
+	}
+	if rep.WorstPosition != 0 || rep.WorstFrom != 1 || rep.WorstTo != 0 {
+		t.Errorf("witness = %+v", rep)
+	}
+	if len(rep.PerPosition) != 1 {
+		t.Errorf("PerPosition = %v", rep.PerPosition)
+	}
+}
+
+func TestAnalyzeSmoothnessSingleAction(t *testing.T) {
+	b := NewGraphBuilder()
+	b.AddAction("only")
+	g := mustGraph(t, b)
+	levels := NewLevelRange(0, 1)
+	cav := NewTimeFamily(levels, 1, 5)
+	cwc := NewTimeFamily(levels, 1, 10)
+	d := NewTimeFamily(levels, 1, 100)
+	sys, err := NewSystem(g, levels, cav, cwc, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := AnalyzeSmoothness(sys, []ActionID{0})
+	if rep.MaxDrop != 0 || rep.WorstPosition != -1 {
+		t.Fatalf("single action report: %+v", rep)
+	}
+}
+
+// The analysis bound is sound: no simulated run under the contract can
+// drop more than MaxDrop between consecutive decisions.
+func TestPropertySmoothnessBoundSound(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		sys := randomSystem(r, 7, 5)
+		c, err := NewController(sys)
+		if err != nil {
+			return false
+		}
+		alpha := c.Schedule()
+		rep := AnalyzeSmoothness(sys, alpha)
+		prev := Level(-1)
+		for !c.Done() {
+			d, err := c.Next()
+			if err != nil {
+				return false
+			}
+			if prev >= 0 && int(prev)-int(d.Level) > rep.MaxDrop {
+				return false
+			}
+			prev = d.Level
+			c.Completed(actualDraw(r, sys, d.Action, d.Level, 0.95))
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The iterative-table analysis agrees with the generic-table analysis on
+// iterated systems.
+func TestSmoothnessIterativeMatchesGeneric(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 20; trial++ {
+		iters := 1 + r.Intn(4)
+		unrolled, body, bodyOrder, budget := buildIteratedSystem(r, iters)
+		it, err := NewIterativeTables(body, bodyOrder, iters, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen := AnalyzeSmoothness(unrolled, it.Order())
+		iter := AnalyzeSmoothnessIterative(unrolled, it)
+		if gen.MaxDrop != iter.MaxDrop {
+			t.Fatalf("trial %d: generic MaxDrop %d vs iterative %d", trial, gen.MaxDrop, iter.MaxDrop)
+		}
+	}
+}
+
+func TestLatestAdmissionBinarySearch(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	_, body, bodyOrder, budget := buildIteratedSystem(r, 3)
+	it, err := NewIterativeTables(body, bodyOrder, 3, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cross-check the binary search against direct sweeps.
+	for qi := range body.Levels {
+		for i := 0; i < len(it.Order()); i += 2 {
+			tAdm, ok := latestAdmission(it, qi, i)
+			if !ok {
+				if Allowed(it, qi, i, 0) {
+					t.Fatalf("latestAdmission says inadmissible but t=0 allowed (qi=%d i=%d)", qi, i)
+				}
+				continue
+			}
+			if !tAdm.IsInf() {
+				if !Allowed(it, qi, i, tAdm) {
+					t.Fatalf("frontier %v not allowed (qi=%d i=%d)", tAdm, qi, i)
+				}
+				if Allowed(it, qi, i, tAdm+1) {
+					t.Fatalf("frontier %v not maximal (qi=%d i=%d)", tAdm, qi, i)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Cycles counts platform CPU cycles, the paper's time unit. Deadlines and
+// execution times are expressed in cycles; Inf represents +∞ (an absent
+// deadline, or an unbounded execution time).
+type Cycles int64
+
+// Inf is the +∞ value for Cycles. Arithmetic helpers below saturate at
+// Inf instead of overflowing.
+const Inf Cycles = math.MaxInt64
+
+// Mcycle is one million cycles, the unit used in the paper's plots.
+const Mcycle Cycles = 1_000_000
+
+// IsInf reports whether c represents +∞.
+func (c Cycles) IsInf() bool { return c == Inf }
+
+// AddSat returns c+d, saturating at Inf.
+func (c Cycles) AddSat(d Cycles) Cycles {
+	if c.IsInf() || d.IsInf() {
+		return Inf
+	}
+	if s := c + d; s >= c || d < 0 {
+		return s
+	}
+	return Inf
+}
+
+// SubSat returns c-d. Inf minus anything finite stays Inf.
+func (c Cycles) SubSat(d Cycles) Cycles {
+	if c.IsInf() {
+		return Inf
+	}
+	if d.IsInf() {
+		return -Inf // pragmatically: a finite value can never meet a +∞ cost
+	}
+	return c - d
+}
+
+// MinCycles returns the smaller of a and b.
+func MinCycles(a, b Cycles) Cycles {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// String renders c in cycles, or "+inf".
+func (c Cycles) String() string {
+	if c.IsInf() {
+		return "+inf"
+	}
+	return fmt.Sprintf("%d", int64(c))
+}
+
+// TimeFn maps actions to times: an execution time function C or a
+// deadline function D, indexed by ActionID.
+type TimeFn []Cycles
+
+// NewTimeFn returns a TimeFn for n actions, all set to v.
+func NewTimeFn(n int, v Cycles) TimeFn {
+	f := make(TimeFn, n)
+	for i := range f {
+		f[i] = v
+	}
+	return f
+}
+
+// Clone returns a copy of f.
+func (f TimeFn) Clone() TimeFn { return append(TimeFn(nil), f...) }
+
+// Sum returns the saturating sum of f over the given actions.
+func (f TimeFn) Sum(actions []ActionID) Cycles {
+	var s Cycles
+	for _, a := range actions {
+		s = s.AddSat(f[a])
+	}
+	return s
+}
+
+// Level is a quality level. The paper's Q is a finite set of integers;
+// execution times are non-decreasing in the level.
+type Level int
+
+// LevelSet is the ordered set Q of quality levels, ascending. The first
+// element is qmin.
+type LevelSet []Level
+
+// NewLevelRange returns the LevelSet {lo, lo+1, ..., hi}.
+func NewLevelRange(lo, hi Level) LevelSet {
+	if hi < lo {
+		return nil
+	}
+	s := make(LevelSet, 0, hi-lo+1)
+	for q := lo; q <= hi; q++ {
+		s = append(s, q)
+	}
+	return s
+}
+
+// Min returns qmin, the smallest level.
+func (s LevelSet) Min() Level { return s[0] }
+
+// Max returns the largest level.
+func (s LevelSet) Max() Level { return s[len(s)-1] }
+
+// Index returns the position of q in s, or -1.
+func (s LevelSet) Index(q Level) int {
+	for i, v := range s {
+		if v == q {
+			return i
+		}
+	}
+	return -1
+}
+
+// Contains reports whether q is a member of Q.
+func (s LevelSet) Contains(q Level) bool { return s.Index(q) >= 0 }
+
+// Valid reports whether s is non-empty and strictly ascending.
+func (s LevelSet) Valid() bool {
+	if len(s) == 0 {
+		return false
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i] <= s[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// TimeFamily is a quality-indexed family of time functions {X_q}, stored
+// densely: Fns[i] is the function for level LevelSet[i].
+type TimeFamily struct {
+	Levels LevelSet
+	Fns    []TimeFn
+}
+
+// NewTimeFamily allocates a family over levels for n actions, with every
+// entry set to v.
+func NewTimeFamily(levels LevelSet, n int, v Cycles) *TimeFamily {
+	fns := make([]TimeFn, len(levels))
+	for i := range fns {
+		fns[i] = NewTimeFn(n, v)
+	}
+	return &TimeFamily{Levels: append(LevelSet(nil), levels...), Fns: fns}
+}
+
+// At returns X_q(a).
+func (t *TimeFamily) At(q Level, a ActionID) Cycles {
+	i := t.Levels.Index(q)
+	if i < 0 {
+		panic(fmt.Sprintf("core: level %d not in level set %v", q, t.Levels))
+	}
+	return t.Fns[i][a]
+}
+
+// AtIndex returns the function at level index i (0 = qmin).
+func (t *TimeFamily) AtIndex(i int) TimeFn { return t.Fns[i] }
+
+// Set assigns X_q(a) = v.
+func (t *TimeFamily) Set(q Level, a ActionID, v Cycles) {
+	i := t.Levels.Index(q)
+	if i < 0 {
+		panic(fmt.Sprintf("core: level %d not in level set %v", q, t.Levels))
+	}
+	t.Fns[i][a] = v
+}
+
+// SetAll assigns X_q(a) = v for every q.
+func (t *TimeFamily) SetAll(a ActionID, v Cycles) {
+	for i := range t.Fns {
+		t.Fns[i][a] = v
+	}
+}
+
+// NonDecreasing reports whether X_q(a) is non-decreasing in q for every
+// action, as the paper requires of execution times.
+func (t *TimeFamily) NonDecreasing() bool {
+	for i := 1; i < len(t.Fns); i++ {
+		for a := range t.Fns[i] {
+			lo, hi := t.Fns[i-1][a], t.Fns[i][a]
+			if !hi.IsInf() && (lo.IsInf() || lo > hi) {
+				return false
+			}
+			if lo.IsInf() && !hi.IsInf() {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ForAssignment materialises X_θ: the TimeFn with X_θ(a) = X_{θ(a)}(a).
+func (t *TimeFamily) ForAssignment(theta Assignment) TimeFn {
+	n := len(t.Fns[0])
+	out := make(TimeFn, n)
+	for a := 0; a < n; a++ {
+		out[a] = t.At(theta[a], ActionID(a))
+	}
+	return out
+}
+
+// Assignment is a quality assignment function θ : A → Q, indexed by
+// ActionID.
+type Assignment []Level
+
+// NewAssignment returns an assignment of n actions, all at level q.
+func NewAssignment(n int, q Level) Assignment {
+	th := make(Assignment, n)
+	for i := range th {
+		th[i] = q
+	}
+	return th
+}
+
+// Clone returns a copy of θ.
+func (th Assignment) Clone() Assignment { return append(Assignment(nil), th...) }
+
+// OverrideFrom returns θ ▷_i q over schedule alpha: an assignment that
+// agrees with θ on the first i elements of alpha and assigns q to all
+// later elements. This is the Quality Manager's candidate construction.
+func (th Assignment) OverrideFrom(alpha []ActionID, i int, q Level) Assignment {
+	out := th.Clone()
+	for j := i; j < len(alpha); j++ {
+		out[alpha[j]] = q
+	}
+	return out
+}

@@ -1,0 +1,323 @@
+// Package decoder models the second classic consumer-terminal workload
+// the paper's related work targets (Wüst et al., Isovic & Fohler): a
+// quality-scalable MPEG-2-style video *decoder*. Where the encoder
+// case study scales motion estimation, a decoder scales its
+// reconstruction fidelity — motion-compensation interpolation precision
+// and the post-processing (deblocking/deringing) stage — against a hard
+// display deadline.
+//
+// The model is synthetic but structurally faithful: a per-frame action
+// chain whose costs depend on the incoming bitstream (bits to parse,
+// motion vector density) rather than on camera content. It demonstrates
+// that the controller is application agnostic: the same core.System
+// machinery drives it.
+package decoder
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+)
+
+// Action indices of the per-frame decode chain.
+const (
+	ParseHeaders = iota
+	VLD          // variable-length decode, bitstream driven
+	InverseQuantize
+	InverseDCT
+	MotionCompensate // quality dependent: interpolation precision
+	Postprocess      // quality dependent: deblocking strength
+	Render
+	NumActions
+)
+
+// ActionNames lists the decoder actions.
+var ActionNames = [NumActions]string{
+	"Parse_Headers",
+	"Variable_Length_Decode",
+	"Inverse_Quantize",
+	"Inverse_DCT",
+	"Motion_Compensate",
+	"Postprocess",
+	"Render",
+}
+
+// NumLevels is the number of decode quality levels (0..3), after the
+// four-level scalable decoders of the related work.
+const NumLevels = 4
+
+// Levels returns the decoder's level set.
+func Levels() core.LevelSet { return core.NewLevelRange(0, NumLevels-1) }
+
+// times gives (average, worst-case) cycles per action per level for a
+// CIF-class frame on the simulated core. Only MotionCompensate and
+// Postprocess depend on the level.
+func times(action int, q core.Level) (av, wc core.Cycles) {
+	switch action {
+	case ParseHeaders:
+		return 20_000, 40_000
+	case VLD:
+		return 450_000, 1_100_000
+	case InverseQuantize:
+		return 180_000, 260_000
+	case InverseDCT:
+		return 420_000, 520_000
+	case MotionCompensate:
+		mc := [NumLevels]struct{ av, wc core.Cycles }{
+			{320_000, 450_000},   // integer-pel
+			{460_000, 700_000},   // half-pel
+			{640_000, 1_000_000}, // quarter-pel
+			{780_000, 1_300_000}, // quarter-pel + OBMC
+		}
+		return mc[q].av, mc[q].wc
+	case Postprocess:
+		pp := [NumLevels]struct{ av, wc core.Cycles }{
+			{15_000, 30_000},     // off
+			{260_000, 420_000},   // deblock
+			{520_000, 860_000},   // deblock + dering
+			{900_000, 1_500_000}, // full chain + temporal filter
+		}
+		return pp[q].av, pp[q].wc
+	case Render:
+		return 120_000, 160_000
+	default:
+		panic(fmt.Sprintf("decoder: unknown action %d", action))
+	}
+}
+
+// Times returns the (average, worst-case) pair for an action at a level.
+func Times(action int, q core.Level) (av, wc core.Cycles) { return times(action, q) }
+
+// FrameAv returns the average whole-frame decode cost at level q.
+func FrameAv(q core.Level) core.Cycles {
+	var s core.Cycles
+	for a := 0; a < NumActions; a++ {
+		av, _ := times(a, q)
+		s += av
+	}
+	return s
+}
+
+// FrameWc returns the worst-case whole-frame decode cost at level q.
+func FrameWc(q core.Level) core.Cycles {
+	var s core.Cycles
+	for a := 0; a < NumActions; a++ {
+		_, wc := times(a, q)
+		s += wc
+	}
+	return s
+}
+
+// Graph builds the decode chain with its one fork: rendering needs both
+// the motion-compensated picture and the post-processing result, while
+// post-processing needs the reconstructed picture.
+func Graph() (*core.Graph, error) {
+	b := core.NewGraphBuilder()
+	for _, n := range ActionNames {
+		b.AddAction(n)
+	}
+	edges := [][2]int{
+		{ParseHeaders, VLD},
+		{VLD, InverseQuantize},
+		{InverseQuantize, InverseDCT},
+		{InverseDCT, MotionCompensate},
+		{MotionCompensate, Postprocess},
+		{Postprocess, Render},
+	}
+	for _, e := range edges {
+		b.AddEdge(ActionNames[e[0]], ActionNames[e[1]])
+	}
+	return b.Build()
+}
+
+// BuildSystem assembles the parameterized system for one frame with the
+// given display deadline (cycles from decode start).
+func BuildSystem(deadline core.Cycles) (*core.System, error) {
+	if deadline <= 0 {
+		return nil, fmt.Errorf("decoder: deadline must be positive, got %v", deadline)
+	}
+	g, err := Graph()
+	if err != nil {
+		return nil, err
+	}
+	levels := Levels()
+	n := g.Len()
+	cav := core.NewTimeFamily(levels, n, 0)
+	cwc := core.NewTimeFamily(levels, n, 0)
+	d := core.NewTimeFamily(levels, n, core.Inf)
+	for a := 0; a < n; a++ {
+		for _, q := range levels {
+			av, wc := times(a, q)
+			cav.Set(q, core.ActionID(a), av)
+			cwc.Set(q, core.ActionID(a), wc)
+		}
+	}
+	render, _ := g.Lookup(ActionNames[Render])
+	for _, q := range levels {
+		d.Set(q, render, deadline)
+	}
+	return core.NewSystem(g, levels, cav, cwc, d)
+}
+
+// Bitstream describes one incoming coded frame: the load drivers of a
+// decoder (as opposed to the encoder's camera content).
+type Bitstream struct {
+	// Bits is the coded size relative to nominal (1.0 = typical).
+	Bits float64
+	// MotionDensity scales motion-compensation work (vectors/block).
+	MotionDensity float64
+	// Intra marks I-frames: no motion compensation work, heavy VLD.
+	Intra bool
+}
+
+// SyntheticStream generates n coded frames with a GOP structure
+// (I-frame every gop frames) and smoothly varying load.
+func SyntheticStream(n, gop int, seed uint64) []Bitstream {
+	r := platform.NewRNG(seed)
+	out := make([]Bitstream, n)
+	load := 1.0
+	for i := range out {
+		load = 0.9*load + 0.1*(0.7+0.6*r.Float64())
+		intra := gop > 0 && i%gop == 0
+		bits := load * (0.8 + 0.4*r.Float64())
+		if intra {
+			bits *= 2.2
+		}
+		out[i] = Bitstream{
+			Bits:          bits,
+			MotionDensity: load * (0.7 + 0.6*r.Float64()),
+			Intra:         intra,
+		}
+	}
+	return out
+}
+
+// Workload turns a coded frame into actual execution times, respecting
+// the contract C <= Cwc_q.
+type Workload struct {
+	bs  Bitstream
+	rng *platform.RNG
+}
+
+// NewWorkload builds the per-frame workload.
+func NewWorkload(bs Bitstream, rng *platform.RNG) *Workload {
+	return &Workload{bs: bs, rng: rng}
+}
+
+// Cost implements platform.Workload.
+func (w *Workload) Cost(a core.ActionID, q core.Level) core.Cycles {
+	av, wc := times(int(a), q)
+	var f float64
+	switch int(a) {
+	case VLD:
+		f = w.bs.Bits * (0.9 + 0.2*w.rng.Float64())
+	case MotionCompensate:
+		if w.bs.Intra {
+			// No inter prediction on I-frames: near-free copy.
+			return clamp(float64(av)*0.1, wc)
+		}
+		f = w.bs.MotionDensity * (0.85 + 0.3*w.rng.Float64())
+	case Postprocess:
+		f = 0.9 + 0.25*w.rng.Float64()
+	case InverseQuantize, InverseDCT:
+		f = w.bs.Bits*0.5 + 0.5 + 0.1*w.rng.Float64()
+	default:
+		f = 0.9 + 0.2*w.rng.Float64()
+	}
+	return clamp(float64(av)*f, wc)
+}
+
+func clamp(c float64, wc core.Cycles) core.Cycles {
+	v := core.Cycles(c)
+	if v < 1 {
+		v = 1
+	}
+	if v > wc {
+		v = wc
+	}
+	return v
+}
+
+// RunResult summarises a decoded stream.
+type RunResult struct {
+	Frames     int
+	Misses     int
+	Fallbacks  int
+	MeanLevel  float64
+	MeanBudget float64 // mean fraction of the deadline consumed
+}
+
+// DecodeStream decodes a synthetic stream under fine-grain control with
+// the given per-frame display deadline, returning aggregate behaviour.
+// Quality levels adapt per action; the display deadline is hard.
+func DecodeStream(stream []Bitstream, deadline core.Cycles, seed uint64) (RunResult, error) {
+	sys, err := BuildSystem(deadline)
+	if err != nil {
+		return RunResult{}, err
+	}
+	ctrl, err := core.NewController(sys)
+	if err != nil {
+		return RunResult{}, err
+	}
+	rng := platform.NewRNG(seed)
+	var res RunResult
+	var lvl, cons float64
+	for _, bs := range stream {
+		w := NewWorkload(bs, rng.Split())
+		ctrl.Reset()
+		cr, err := ctrl.RunCycle(func(a core.ActionID, q core.Level) core.Cycles {
+			return w.Cost(a, q)
+		})
+		if err != nil {
+			return res, err
+		}
+		res.Frames++
+		res.Misses += cr.Misses
+		res.Fallbacks += cr.Fallbacks
+		lvl += cr.MeanLevel()
+		cons += float64(cr.Elapsed) / float64(deadline)
+	}
+	if res.Frames > 0 {
+		res.MeanLevel = lvl / float64(res.Frames)
+		res.MeanBudget = cons / float64(res.Frames)
+	}
+	return res, nil
+}
+
+// DecodeStreamConstant is the constant-level baseline: misses occur
+// whenever the frame's actual cost exceeds the deadline.
+func DecodeStreamConstant(stream []Bitstream, deadline core.Cycles, q core.Level, seed uint64) (RunResult, error) {
+	sys, err := BuildSystem(deadline)
+	if err != nil {
+		return RunResult{}, err
+	}
+	if !Levels().Contains(q) {
+		return RunResult{}, fmt.Errorf("decoder: level %d out of range", q)
+	}
+	alpha := core.EDFSchedule(sys.Graph, sys.Cwc.AtIndex(int(q)), sys.D.AtIndex(int(q)))
+	rng := platform.NewRNG(seed)
+	var res RunResult
+	var cons float64
+	for _, bs := range stream {
+		w := NewWorkload(bs, rng.Split())
+		var t core.Cycles
+		missed := false
+		for _, a := range alpha {
+			t += w.Cost(a, q)
+			if dl := sys.D.At(q, a); !dl.IsInf() && t > dl {
+				missed = true
+			}
+		}
+		res.Frames++
+		if missed {
+			res.Misses++
+		}
+		cons += float64(t) / float64(deadline)
+	}
+	res.MeanLevel = float64(q)
+	if res.Frames > 0 {
+		res.MeanBudget = cons / float64(res.Frames)
+	}
+	return res, nil
+}

@@ -1,0 +1,177 @@
+package decoder
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+)
+
+func TestGraphShape(t *testing.T) {
+	g, err := Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != NumActions {
+		t.Fatalf("actions = %d", g.Len())
+	}
+	if !g.IsSchedule(g.Topo()) {
+		t.Fatal("topo invalid")
+	}
+	parse, _ := g.Lookup(ActionNames[ParseHeaders])
+	render, _ := g.Lookup(ActionNames[Render])
+	if !g.Reachable(parse, render) {
+		t.Fatal("parse must precede render")
+	}
+	if len(g.Sources()) != 1 || len(g.Sinks()) != 1 {
+		t.Fatalf("sources/sinks: %v %v", g.Sources(), g.Sinks())
+	}
+}
+
+func TestTimesMonotone(t *testing.T) {
+	for a := 0; a < NumActions; a++ {
+		var prevAv, prevWc core.Cycles
+		for _, q := range Levels() {
+			av, wc := Times(a, q)
+			if av > wc {
+				t.Fatalf("%s q%d: av > wc", ActionNames[a], q)
+			}
+			if av < prevAv || wc < prevWc {
+				t.Fatalf("%s: decreasing in quality at q%d", ActionNames[a], q)
+			}
+			prevAv, prevWc = av, wc
+		}
+	}
+	if FrameAv(0) >= FrameAv(3) {
+		t.Fatal("frame averages not increasing")
+	}
+	if FrameWc(0) >= FrameWc(3) {
+		t.Fatal("frame worst cases not increasing")
+	}
+}
+
+func TestBuildSystemValid(t *testing.T) {
+	sys, err := BuildSystem(2 * FrameWc(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !sys.FeasibleAtQmin() {
+		t.Fatal("ample deadline infeasible")
+	}
+	if _, err := BuildSystem(0); err == nil {
+		t.Fatal("zero deadline accepted")
+	}
+}
+
+func TestSyntheticStreamGOP(t *testing.T) {
+	s := SyntheticStream(30, 10, 1)
+	if len(s) != 30 {
+		t.Fatalf("len = %d", len(s))
+	}
+	for i, bs := range s {
+		if (i%10 == 0) != bs.Intra {
+			t.Fatalf("frame %d intra flag wrong", i)
+		}
+		if bs.Bits <= 0 || bs.MotionDensity <= 0 {
+			t.Fatalf("frame %d has non-positive load", i)
+		}
+	}
+}
+
+func TestPropertyWorkloadContract(t *testing.T) {
+	f := func(seed uint64, qRaw uint8) bool {
+		q := core.Level(qRaw % NumLevels)
+		stream := SyntheticStream(5, 3, seed)
+		rng := platform.NewRNG(seed ^ 1)
+		for _, bs := range stream {
+			w := NewWorkload(bs, rng.Split())
+			for a := 0; a < NumActions; a++ {
+				c := w.Cost(core.ActionID(a), q)
+				_, wc := Times(a, q)
+				if c < 1 || c > wc {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeStreamControlledSafe(t *testing.T) {
+	stream := SyntheticStream(120, 12, 7)
+	// Deadline between the q0 worst case and the q3 average: tight
+	// enough to force adaptation, loose enough for hard control.
+	deadline := FrameWc(0) + (FrameAv(3)-FrameWc(0))/2
+	if deadline <= FrameWc(0) {
+		deadline = FrameWc(0) + 100_000
+	}
+	res, err := DecodeStream(stream, deadline, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Misses != 0 || res.Fallbacks != 0 {
+		t.Fatalf("controlled decode: %+v", res)
+	}
+	if res.MeanLevel <= 0 {
+		t.Errorf("controller never left q0 (mean level %v)", res.MeanLevel)
+	}
+	if res.MeanBudget > 1 {
+		t.Errorf("budget overrun: %v", res.MeanBudget)
+	}
+}
+
+func TestDecodeStreamConstantMisses(t *testing.T) {
+	stream := SyntheticStream(120, 12, 7)
+	// A deadline the q3 average does not fit: constant q3 must miss.
+	deadline := FrameAv(3) - 200_000
+	if deadline < FrameWc(0) {
+		t.Skip("deadline collapsed below q0 worst case")
+	}
+	constRes, err := DecodeStreamConstant(stream, deadline, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if constRes.Misses == 0 {
+		t.Error("constant q3 never missed a deadline it cannot meet on average")
+	}
+	ctrlRes, err := DecodeStream(stream, deadline, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctrlRes.Misses != 0 {
+		t.Errorf("controlled decoder missed %d under the same deadline", ctrlRes.Misses)
+	}
+}
+
+func TestDecodeStreamConstantBadLevel(t *testing.T) {
+	if _, err := DecodeStreamConstant(nil, 1_000_000_0, 9, 1); err == nil {
+		t.Fatal("bad level accepted")
+	}
+}
+
+// Tighter deadlines can only lower the controlled mean quality.
+func TestPropertyQualityMonotoneInDeadline(t *testing.T) {
+	stream := SyntheticStream(40, 8, 3)
+	base := FrameWc(0)
+	var prev float64 = -1
+	for _, extra := range []core.Cycles{100_000, 600_000, 1_200_000, 2_400_000} {
+		res, err := DecodeStream(stream, base+extra, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Misses != 0 {
+			t.Fatalf("miss at deadline %v", base+extra)
+		}
+		if res.MeanLevel+1e-9 < prev {
+			t.Fatalf("quality fell with a looser deadline: %v after %v", res.MeanLevel, prev)
+		}
+		prev = res.MeanLevel
+	}
+}

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/decoder"
+)
+
+// DecoderRow is one run of the second case study: the quality-scalable
+// decoder under a hard display deadline.
+type DecoderRow struct {
+	Name       string
+	MeanLevel  float64
+	Misses     int
+	Frames     int
+	MeanBudget float64
+}
+
+// DecoderComparison decodes the same synthetic stream with the
+// fine-grain controller and with each constant level, at a display
+// deadline chosen to sit between the q0 worst case and the q3 average —
+// the regime where adaptation matters.
+func DecoderComparison(frames int, seed uint64) ([]DecoderRow, core.Cycles, error) {
+	if frames <= 0 {
+		frames = 400
+	}
+	stream := decoder.SyntheticStream(frames, 12, seed)
+	deadline := decoder.FrameWc(0) + (decoder.FrameAv(3)-decoder.FrameWc(0))*3/4
+	rows := make([]DecoderRow, 0, decoder.NumLevels+1)
+
+	res, err := decoder.DecodeStream(stream, deadline, seed)
+	if err != nil {
+		return nil, 0, fmt.Errorf("controlled decode: %w", err)
+	}
+	rows = append(rows, DecoderRow{
+		Name: "fine-grain controlled", MeanLevel: res.MeanLevel,
+		Misses: res.Misses, Frames: res.Frames, MeanBudget: res.MeanBudget,
+	})
+	for q := core.Level(0); q < decoder.NumLevels; q++ {
+		cres, err := decoder.DecodeStreamConstant(stream, deadline, q, seed)
+		if err != nil {
+			return nil, 0, fmt.Errorf("constant q%d decode: %w", q, err)
+		}
+		rows = append(rows, DecoderRow{
+			Name: fmt.Sprintf("constant-q%d", q), MeanLevel: cres.MeanLevel,
+			Misses: cres.Misses, Frames: cres.Frames, MeanBudget: cres.MeanBudget,
+		})
+	}
+	return rows, deadline, nil
+}

@@ -1,0 +1,329 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mpeg"
+	"repro/internal/stats"
+)
+
+// testOptions keeps experiment tests fast while preserving the load
+// shapes: fewer frames and smaller frames, same sequence structure.
+func testOptions() Options {
+	return Options{Frames: 180, Macroblocks: 400, Seed: 1}
+}
+
+func TestFig5TablesComplete(t *testing.T) {
+	rows := Fig5()
+	if len(rows) != mpeg.NumLevels+mpeg.NumActions-1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	me := 0
+	for _, r := range rows {
+		if r.Label == "Motion_Estimate" {
+			me++
+			if r.Quality < 0 {
+				t.Error("ME row without quality")
+			}
+		}
+		if r.Av > r.Wc {
+			t.Errorf("%s q%d: av %v > wc %v", r.Label, r.Quality, r.Av, r.Wc)
+		}
+	}
+	if me != mpeg.NumLevels {
+		t.Errorf("ME rows = %d", me)
+	}
+}
+
+// Figure 6 shape: the controlled encoder never skips, never misses, and
+// keeps encoding time at or under the period with high utilisation; the
+// constant q=3 encoder fluctuates across the period and skips frames in
+// the overloaded sequences.
+func TestFig6Shape(t *testing.T) {
+	bf, err := Fig6(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bf.CtrlResult.Skips != 0 || bf.CtrlResult.Misses != 0 {
+		t.Errorf("controlled: skips=%d misses=%d", bf.CtrlResult.Skips, bf.CtrlResult.Misses)
+	}
+	p := bf.PeriodMcycle
+	for i, v := range bf.Controlled.Values {
+		if v > p*1.001 {
+			t.Errorf("controlled frame %d encode %.1f exceeds period %.1f", i, v, p)
+		}
+	}
+	// Utilisation near 1 on P-frames in loaded sequences.
+	util := UtilisationSummary(bf.CtrlResult)
+	if util.Mean < 0.85 {
+		t.Errorf("controlled mean utilisation %.3f too low", util.Mean)
+	}
+	if bf.ConstResult.Skips == 0 {
+		t.Error("constant q=3 did not skip in overloaded sequences")
+	}
+	// The constant encoder exceeds the period somewhere.
+	over := stats.Count(bf.Constant.Values, func(x float64) bool { return x > p })
+	if over == 0 {
+		t.Error("constant q=3 never exceeded the period")
+	}
+}
+
+// Figure 7 adds buffering for the constant encoder: q=4 with K=2 skips
+// less than q=4 with K=1 would, but still skips under overload.
+func TestFig7Shape(t *testing.T) {
+	bf, err := Fig7(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bf.CtrlResult.Skips != 0 {
+		t.Error("controlled skipped")
+	}
+	if bf.ConstResult.Skips == 0 {
+		t.Error("constant q=4 K=2 should still skip under overload")
+	}
+	// q=4 is more expensive than q=3: mean constant encode time above
+	// the q=3 level of Fig6.
+	f6, err := Fig6(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m7 := meanNonZero(bf.Constant.Values)
+	m6 := meanNonZero(f6.Constant.Values)
+	if m7 <= m6 {
+		t.Errorf("constant q=4 mean encode %.1f not above q=3 %.1f", m7, m6)
+	}
+}
+
+func meanNonZero(xs []float64) float64 {
+	var s float64
+	var n int
+	for _, x := range xs {
+		if x > 0 {
+			s += x
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return s / float64(n)
+}
+
+// Figure 8 shape: controlled PSNR above constant q=3 on average outside
+// skip regions; skip regions collapse below 25 dB for the constant
+// encoder; the controlled encoder has no sub-26 frames at all.
+func TestFig8Shape(t *testing.T) {
+	pf, err := Fig8(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range pf.Controlled.Values {
+		if v < 26 {
+			t.Errorf("controlled frame %d PSNR %.1f below encoded floor", i, v)
+		}
+	}
+	lows := stats.Count(pf.Constant.Values, func(x float64) bool { return x < 25 })
+	if lows == 0 {
+		t.Error("constant run has no skip-collapsed PSNR values")
+	}
+	if lows != pf.ConstResult.Skips {
+		t.Errorf("sub-25 frames (%d) != skips (%d)", lows, pf.ConstResult.Skips)
+	}
+	// Outside skips, compare means: controlled must win overall.
+	cMean := stats.Mean(pf.Controlled.Values)
+	kMean := stats.Mean(pf.Constant.Values)
+	if cMean <= kMean {
+		t.Errorf("controlled mean PSNR %.2f not above constant %.2f", cMean, kMean)
+	}
+}
+
+// Figure 9: against constant q=4 K=2 the controlled encoder still wins
+// on mean PSNR (no skips), though the constant encoder's encoded frames
+// are closer.
+func TestFig9Shape(t *testing.T) {
+	pf, err := Fig9(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cMean := stats.Mean(pf.Controlled.Values)
+	kMean := stats.Mean(pf.Constant.Values)
+	if cMean <= kMean {
+		t.Errorf("controlled mean PSNR %.2f not above constant q4 K2 %.2f", cMean, kMean)
+	}
+	// In skip regions the constant encoder's *encoded* frames beat the
+	// controlled encoder (redistributed bits) — the paper's nuance.
+	skipSeqs := map[int]bool{}
+	for _, r := range pf.ConstResult.Records {
+		if r.Skipped {
+			skipSeqs[r.Seq] = true
+		}
+	}
+	if len(skipSeqs) == 0 {
+		t.Skip("no skips at this scale")
+	}
+	var cSum, kSum float64
+	var n int
+	for i, r := range pf.ConstResult.Records {
+		if skipSeqs[r.Seq] && !r.Skipped {
+			kSum += r.PSNR
+			cSum += pf.CtrlResult.Records[i].PSNR
+			n++
+		}
+	}
+	if n > 10 && kSum/float64(n) <= cSum/float64(n)-0.8 {
+		t.Errorf("in skip regions, constant encoded PSNR %.2f far below controlled %.2f — redistribution not visible",
+			kSum/float64(n), cSum/float64(n))
+	}
+}
+
+// Overhead: the paper's three claims hold in the model.
+func TestOverheadWithinPaperBounds(t *testing.T) {
+	rep, err := Overhead(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RuntimeFraction <= 0 || rep.RuntimeFraction > 0.015 {
+		t.Errorf("runtime overhead %.4f outside (0, 1.5%%]", rep.RuntimeFraction)
+	}
+	if rep.CodeFraction > 0.025 {
+		t.Errorf("code overhead %.4f above ~2%%", rep.CodeFraction)
+	}
+	if rep.MemFraction > 0.01 {
+		t.Errorf("memory overhead %.4f above 1%%", rep.MemFraction)
+	}
+}
+
+func TestComparePolicies(t *testing.T) {
+	rows, err := ComparePolicies(testOptions(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]PolicyRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	fine := byName["fine-grain controlled"]
+	if fine.Skips != 0 || fine.Misses != 0 {
+		t.Errorf("fine-grain: %+v", fine)
+	}
+	elastic := byName["elastic-wc"]
+	if elastic.MeanLevel >= fine.MeanLevel {
+		t.Errorf("elastic level %.2f not below fine-grain %.2f", elastic.MeanLevel, fine.MeanLevel)
+	}
+	if q3 := byName["constant-q3"]; q3.Skips == 0 {
+		t.Error("constant q3 did not skip")
+	}
+}
+
+func TestCompareGrain(t *testing.T) {
+	rows, err := CompareGrain(testOptions(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows[:3] { // the three fine-grain variants
+		if r.Misses != 0 {
+			t.Errorf("%s: %d misses", r.Name, r.Misses)
+		}
+	}
+}
+
+func TestCompareLearning(t *testing.T) {
+	rows, err := CompareLearning(testOptions(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Misses != 0 || r.Skips != 0 {
+			t.Errorf("%s: misses=%d skips=%d — learning must not affect safety",
+				r.Name, r.Misses, r.Skips)
+		}
+	}
+	// Learning must not lose quality against the static tables (it may
+	// gain a little when the profiled averages misestimate content).
+	static, learned := rows[0], rows[2]
+	if learned.MeanLevel < static.MeanLevel-0.1 {
+		t.Errorf("learning lost quality: %.3f vs %.3f", learned.MeanLevel, static.MeanLevel)
+	}
+}
+
+func TestBufferSweep(t *testing.T) {
+	rows, err := BufferSweep(testOptions(), 4, []int{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Bigger buffers cannot increase skips — but they buy that with
+	// latency (the paper's criticism of buffering as a fix).
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Skips > rows[i-1].Skips {
+			t.Errorf("K=%d skips %d above K=%d skips %d",
+				rows[i].K, rows[i].Skips, rows[i-1].K, rows[i-1].Skips)
+		}
+	}
+	if last, first := rows[len(rows)-1], rows[0]; last.MaxLatency < first.MaxLatency {
+		t.Errorf("K=%d max latency %.2f below K=%d latency %.2f",
+			last.K, last.MaxLatency, first.K, first.MaxLatency)
+	}
+}
+
+func TestSmoothnessAnalysisSound(t *testing.T) {
+	res, err := Smoothness(40, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ObservedMaxDrop > res.MaxDrop {
+		t.Fatalf("observed drop %d exceeds static bound %d", res.ObservedMaxDrop, res.MaxDrop)
+	}
+	if res.MaxDrop < 1 {
+		t.Errorf("MPEG system with a q4-average budget should allow drops, got bound %d", res.MaxDrop)
+	}
+}
+
+func TestDecoderComparison(t *testing.T) {
+	rows, deadline, err := DecoderComparison(150, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deadline <= 0 || len(rows) != 5 {
+		t.Fatalf("deadline %v, rows %d", deadline, len(rows))
+	}
+	fine := rows[0]
+	if fine.Misses != 0 {
+		t.Errorf("controlled decoder missed %d", fine.Misses)
+	}
+	if fine.MeanLevel <= 1 {
+		t.Errorf("controlled decoder mean level %.2f suspiciously low", fine.MeanLevel)
+	}
+	// The top constant level must miss at this deadline (that is the
+	// regime the comparison is built for).
+	q3 := rows[4]
+	if q3.Misses == 0 {
+		t.Error("constant q3 never missed — deadline not in the adaptive regime")
+	}
+}
+
+func TestOptionsFillDefaults(t *testing.T) {
+	o := Options{}.fill()
+	if o.Frames != 582 || o.Macroblocks != 1800 || o.Seed != 1 {
+		t.Fatalf("defaults: %+v", o)
+	}
+	src, err := o.source()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Len() != 582 {
+		t.Fatal("source length wrong")
+	}
+	if src.Period() != 320*core.Mcycle {
+		t.Fatal("source period wrong")
+	}
+}

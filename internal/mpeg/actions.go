@@ -1,0 +1,95 @@
+// Package mpeg models the paper's case study: an MPEG-4 encoder treating
+// frames as N iterations of a 9-action macroblock body (figure 2), with
+// the execution-time tables of figure 5. The model is behavioural, not
+// bit-exact: the controller only observes action completion times, so a
+// work model reproducing the timing statistics exercises the same
+// control paths as the proprietary STMicroelectronics encoder.
+package mpeg
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Action indices of the macroblock body, in the order of figure 5's
+// table. MotionEstimate is the only quality-dependent action.
+const (
+	GrabMacroBlock = iota
+	MotionEstimate
+	DiscreteCosineTransform
+	Quantize
+	IntraPredict
+	Compress
+	InverseQuantize
+	InverseDiscreteCosineTransform
+	Reconstruct
+	NumActions
+)
+
+// ActionNames lists the figure 2 action names indexed by the constants
+// above.
+var ActionNames = [NumActions]string{
+	"Grab_Macro_Block",
+	"Motion_Estimate",
+	"Discrete_Cosine_Transform",
+	"Quantize",
+	"Intra_Predict",
+	"Compress",
+	"Inverse_Quantize",
+	"Inverse_Discrete_Cosine_Transform",
+	"Reconstruct",
+}
+
+// bodyEdges is our reading of the figure 2 precedence graph: grab feeds
+// both prediction paths (motion estimation and intra prediction), both
+// must finish before the transform; the quantised coefficients feed the
+// entropy coder and the reconstruction loop.
+var bodyEdges = [][2]int{
+	{GrabMacroBlock, MotionEstimate},
+	{GrabMacroBlock, IntraPredict},
+	{MotionEstimate, DiscreteCosineTransform},
+	{IntraPredict, DiscreteCosineTransform},
+	{DiscreteCosineTransform, Quantize},
+	{Quantize, Compress},
+	{Quantize, InverseQuantize},
+	{InverseQuantize, InverseDiscreteCosineTransform},
+	{InverseDiscreteCosineTransform, Reconstruct},
+}
+
+// BodyGraph builds the macroblock precedence graph of figure 2.
+func BodyGraph() (*core.Graph, error) {
+	b := core.NewGraphBuilder()
+	for _, n := range ActionNames {
+		b.AddAction(n)
+	}
+	for _, e := range bodyEdges {
+		b.AddEdge(ActionNames[e[0]], ActionNames[e[1]])
+	}
+	return b.Build()
+}
+
+// FrameGraph builds the treatment of a frame: the body iterated n times,
+// chained (the implementation is single threaded and processes
+// macroblocks in order).
+func FrameGraph(n int) (*core.Graph, error) {
+	body, err := BodyGraph()
+	if err != nil {
+		return nil, err
+	}
+	return body.Unroll(n, true)
+}
+
+// SplitID decomposes an action of a FrameGraph(n) into its base action
+// constant and macroblock index.
+func SplitID(a core.ActionID) (action int, mb int) {
+	return int(a) % NumActions, int(a) / NumActions
+}
+
+// JoinID is the inverse of SplitID.
+func JoinID(action, mb int) core.ActionID {
+	if action < 0 || action >= NumActions {
+		panic(fmt.Sprintf("mpeg: action index %d out of range", action))
+	}
+	return core.ActionID(mb*NumActions + action)
+}

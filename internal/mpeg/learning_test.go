@@ -1,0 +1,121 @@
+package mpeg
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/video"
+)
+
+func TestLearningEncoderStaysSafe(t *testing.T) {
+	cfg := video.DefaultConfig()
+	cfg.Frames = 20
+	cfg.Macroblocks = 60
+	src, err := video.NewSource(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := NewControlled(cfg.Macroblocks, cfg.Period, 1, WithLearning(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !enc.Learning() {
+		t.Fatal("Learning() false")
+	}
+	for i := 0; i < src.Len(); i++ {
+		f := src.Frame(i)
+		rep, err := enc.EncodeFrame(&f, cfg.Period)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Misses != 0 || rep.Fallbacks != 0 {
+			t.Fatalf("frame %d: misses=%d fallbacks=%d under learning", i, rep.Misses, rep.Fallbacks)
+		}
+	}
+}
+
+func TestLearningAdjustsAverages(t *testing.T) {
+	cfg := video.DefaultConfig()
+	cfg.Frames = 30
+	cfg.Macroblocks = 60
+	// Light content: actual costs sit well below the figure 5 averages.
+	cfg.SequenceLoad = []float64{0.6, 0.6, 0.6, 0.6, 0.6, 0.6, 0.6, 0.6, 0.6}
+	src, err := video.NewSource(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := NewControlled(cfg.Macroblocks, cfg.Period, 1, WithLearning(0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With a huge budget over light content the controller holds the
+	// top level, so that is where observations accumulate.
+	const probe = core.Level(7)
+	before := enc.FS.Body.Cav.At(probe, core.ActionID(MotionEstimate))
+	for i := 0; i < src.Len(); i++ {
+		f := src.Frame(i)
+		if _, err := enc.EncodeFrame(&f, cfg.Period); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Force one more Apply so the last frame's observations land.
+	f := src.Frame(0)
+	if _, err := enc.EncodeFrame(&f, cfg.Period); err != nil {
+		t.Fatal(err)
+	}
+	after := enc.FS.Body.Cav.At(probe, core.ActionID(MotionEstimate))
+	if after >= before {
+		t.Errorf("ME average did not fall under light load: %v -> %v", before, after)
+	}
+	// Learned averages must stay within the (overhead-inflated)
+	// worst-case bound and keep the family valid.
+	if err := enc.FS.Body.Validate(); err != nil {
+		t.Fatalf("learned body system invalid: %v", err)
+	}
+}
+
+func TestLearningImprovesQualityUnderLightLoad(t *testing.T) {
+	cfg := video.DefaultConfig()
+	cfg.Frames = 40
+	cfg.Macroblocks = 60
+	cfg.SequenceLoad = []float64{0.55, 0.55, 0.55, 0.55, 0.55, 0.55, 0.55, 0.55, 0.55}
+	// Tight period so quality is budget limited: per-MB budget equal to
+	// the q4 average.
+	cfg.Period = core.Cycles(60) * MacroblockAv(4)
+	src, err := video.NewSource(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(opts ...ControlledOption) float64 {
+		enc, err := NewControlled(cfg.Macroblocks, cfg.Period, 1, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var q float64
+		for i := 0; i < src.Len(); i++ {
+			f := src.Frame(i)
+			rep, err := enc.EncodeFrame(&f, cfg.Period)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Misses != 0 {
+				t.Fatalf("miss at frame %d", i)
+			}
+			q += rep.MeanLevel
+		}
+		return q / float64(src.Len())
+	}
+	static := run()
+	learned := run(WithLearning(0.2))
+	if learned < static {
+		t.Errorf("learning lowered mean quality under light load: %.3f vs %.3f", learned, static)
+	}
+}
+
+func TestLearningRequiresIterativeTables(t *testing.T) {
+	_, err := NewControlled(8, 10*core.Mcycle, 1,
+		WithLearning(0.1), WithPerMacroblockDeadlines())
+	if err == nil {
+		t.Fatal("learning with per-MB deadlines accepted")
+	}
+}

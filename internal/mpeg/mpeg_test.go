@@ -1,0 +1,461 @@
+package mpeg
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/video"
+)
+
+func TestBodyGraphMatchesFigure2(t *testing.T) {
+	g, err := BodyGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != NumActions {
+		t.Fatalf("actions = %d, want %d", g.Len(), NumActions)
+	}
+	for _, name := range ActionNames {
+		if _, ok := g.Lookup(name); !ok {
+			t.Errorf("action %q missing", name)
+		}
+	}
+	// Structural checks: grab is the unique source; compress and
+	// reconstruct are the sinks; the reconstruction loop is ordered.
+	srcs := g.Sources()
+	if len(srcs) != 1 || g.Name(srcs[0]) != ActionNames[GrabMacroBlock] {
+		t.Errorf("sources = %v", srcs)
+	}
+	sinks := g.Sinks()
+	if len(sinks) != 2 {
+		t.Errorf("sinks = %v", sinks)
+	}
+	me, _ := g.Lookup(ActionNames[MotionEstimate])
+	rec, _ := g.Lookup(ActionNames[Reconstruct])
+	if !g.Reachable(me, rec) {
+		t.Error("motion estimation should precede reconstruction")
+	}
+	if !g.IsSchedule(g.Topo()) {
+		t.Error("topo order invalid")
+	}
+}
+
+func TestTimesMatchFigure5(t *testing.T) {
+	// Spot-check the published values.
+	cases := []struct {
+		action int
+		q      core.Level
+		av, wc core.Cycles
+	}{
+		{MotionEstimate, 0, 215, 1_000},
+		{MotionEstimate, 3, 95_000, 350_000},
+		{MotionEstimate, 7, 200_000, 1_500_000},
+		{GrabMacroBlock, 0, 12_000, 24_000},
+		{GrabMacroBlock, 7, 12_000, 24_000}, // quality independent
+		{DiscreteCosineTransform, 4, 16_000, 16_000},
+		{Compress, 2, 5_000, 50_000},
+		{Reconstruct, 5, 10_000, 13_000},
+	}
+	for _, c := range cases {
+		av, wc := Times(c.action, c.q)
+		if av != c.av || wc != c.wc {
+			t.Errorf("Times(%s, q%d) = (%v, %v), want (%v, %v)",
+				ActionNames[c.action], c.q, av, wc, c.av, c.wc)
+		}
+	}
+}
+
+func TestMotionEstimateMonotone(t *testing.T) {
+	for q := 1; q < NumLevels; q++ {
+		if MotionEstimateTimes[q].Av < MotionEstimateTimes[q-1].Av {
+			t.Errorf("ME average decreases at q%d", q)
+		}
+		if MotionEstimateTimes[q].Wc < MotionEstimateTimes[q-1].Wc {
+			t.Errorf("ME worst case decreases at q%d", q)
+		}
+		if MotionEstimateTimes[q].Av > MotionEstimateTimes[q].Wc {
+			t.Errorf("ME av > wc at q%d", q)
+		}
+	}
+}
+
+func TestMacroblockSums(t *testing.T) {
+	// Fixed actions sum to 77k average, 175k worst case (figure 5).
+	var fixedAv, fixedWc core.Cycles
+	for a := 0; a < NumActions; a++ {
+		if a == MotionEstimate {
+			continue
+		}
+		fixedAv += FixedTimes[a].Av
+		fixedWc += FixedTimes[a].Wc
+	}
+	if fixedAv != 77_000 {
+		t.Errorf("fixed average sum = %v, want 77000", fixedAv)
+	}
+	if fixedWc != 175_000 {
+		t.Errorf("fixed worst sum = %v, want 175000", fixedWc)
+	}
+	if got := MacroblockAv(3); got != 77_000+95_000 {
+		t.Errorf("MacroblockAv(3) = %v", got)
+	}
+	if got := MacroblockWc(0); got != 175_000+1_000 {
+		t.Errorf("MacroblockWc(0) = %v", got)
+	}
+}
+
+func TestSplitJoinID(t *testing.T) {
+	for mb := 0; mb < 5; mb++ {
+		for a := 0; a < NumActions; a++ {
+			id := JoinID(a, mb)
+			ga, gm := SplitID(id)
+			if ga != a || gm != mb {
+				t.Fatalf("roundtrip (%d,%d) -> %d -> (%d,%d)", a, mb, id, ga, gm)
+			}
+		}
+	}
+}
+
+func TestJoinIDPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	JoinID(NumActions, 0)
+}
+
+func TestBuildSystemValidation(t *testing.T) {
+	if _, err := BuildSystem(SystemConfig{Macroblocks: 0, Budget: 1}); err == nil {
+		t.Error("zero macroblocks accepted")
+	}
+	if _, err := BuildSystem(SystemConfig{Macroblocks: 3, Budget: 0}); err == nil {
+		t.Error("zero budget accepted")
+	}
+}
+
+func TestBuildSystemShape(t *testing.T) {
+	fs, err := BuildSystem(SystemConfig{Macroblocks: 4, Budget: 10 * core.Mcycle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Sys.Graph.Len() != 4*NumActions {
+		t.Fatalf("unrolled size = %d", fs.Sys.Graph.Len())
+	}
+	if fs.Iter == nil {
+		t.Fatal("iterative tables missing for end-of-frame deadline config")
+	}
+	// Deadline only on the final macroblock's sinks.
+	d0 := fs.Sys.D.AtIndex(0)
+	finite := 0
+	for a, dl := range d0 {
+		if !dl.IsInf() {
+			finite++
+			_, mb := SplitID(core.ActionID(a))
+			if mb != 3 {
+				t.Errorf("finite deadline on macroblock %d", mb)
+			}
+		}
+	}
+	if finite != 2 {
+		t.Errorf("finite deadlines = %d, want 2 (Compress, Reconstruct)", finite)
+	}
+	if got := fs.MinFeasibleBudget(); got != MacroblockWc(0)*4 {
+		t.Errorf("MinFeasibleBudget = %v", got)
+	}
+}
+
+func TestBuildSystemPerMBDeadlines(t *testing.T) {
+	fs, err := BuildSystem(SystemConfig{Macroblocks: 4, Budget: 10 * core.Mcycle, PerMacroblockDeadlines: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Iter != nil {
+		t.Fatal("iterative tables must be disabled for per-MB deadlines")
+	}
+	d0 := fs.Sys.D.AtIndex(0)
+	finite := 0
+	for _, dl := range d0 {
+		if !dl.IsInf() {
+			finite++
+		}
+	}
+	if finite != 8 {
+		t.Errorf("finite deadlines = %d, want 8 (2 per macroblock)", finite)
+	}
+}
+
+func TestSetBudget(t *testing.T) {
+	fs, err := BuildSystem(SystemConfig{Macroblocks: 2, Budget: core.Mcycle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SetBudget(2*core.Mcycle, nil); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Budget() != 2*core.Mcycle {
+		t.Fatal("budget not applied")
+	}
+	if fs.Iter.Budget() != 2*core.Mcycle {
+		t.Fatal("iterative tables not re-targeted")
+	}
+	if got := fs.Sys.D.At(0, JoinID(Compress, 1)); got != 2*core.Mcycle {
+		t.Fatalf("deadline = %v", got)
+	}
+}
+
+func testFrame(t *testing.T, typ video.FrameType) *video.Frame {
+	t.Helper()
+	cfg := video.DefaultConfig()
+	cfg.Frames = 20
+	cfg.Macroblocks = 8
+	src, err := video.NewSource(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < src.Len(); i++ {
+		f := src.Frame(i)
+		if f.Type == typ {
+			return &f
+		}
+	}
+	t.Fatalf("no frame of type %v", typ)
+	return nil
+}
+
+// The safe-control contract: the workload never exceeds the figure 5
+// worst case for the level it runs at.
+func TestPropertyWorkloadRespectsContract(t *testing.T) {
+	pf := testFrame(t, video.PFrame)
+	iframe := testFrame(t, video.IFrame)
+	f := func(seed uint64, qRaw uint8, useI bool) bool {
+		frame := pf
+		if useI {
+			frame = iframe
+		}
+		w := NewWorkload(frame, platform.NewRNG(seed))
+		q := core.Level(qRaw % NumLevels)
+		for mb := 0; mb < len(frame.MBs); mb++ {
+			for a := 0; a < NumActions; a++ {
+				cost := w.Cost(JoinID(a, mb), q)
+				_, wc := Times(a, q)
+				if cost < 1 || cost > wc {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkloadIFrameMotionEstimateCheap(t *testing.T) {
+	iframe := testFrame(t, video.IFrame)
+	w := NewWorkload(iframe, platform.NewRNG(1))
+	// On intra frames the search aborts: even at q7 the cost stays at
+	// the level-0 scale.
+	_, wc0 := Times(MotionEstimate, 0)
+	for mb := 0; mb < len(iframe.MBs); mb++ {
+		if cost := w.Cost(JoinID(MotionEstimate, mb), 7); cost > wc0 {
+			t.Fatalf("I-frame ME cost %v exceeds trivial-search bound %v", cost, wc0)
+		}
+	}
+}
+
+func TestWorkloadIFrameCompressExpensive(t *testing.T) {
+	iframe := testFrame(t, video.IFrame)
+	pframe := testFrame(t, video.PFrame)
+	var iSum, pSum core.Cycles
+	wI := NewWorkload(iframe, platform.NewRNG(2))
+	wP := NewWorkload(pframe, platform.NewRNG(2))
+	n := len(iframe.MBs)
+	if m := len(pframe.MBs); m < n {
+		n = m
+	}
+	for mb := 0; mb < n; mb++ {
+		iSum += wI.Cost(JoinID(Compress, mb), 3)
+		pSum += wP.Cost(JoinID(Compress, mb), 3)
+	}
+	if iSum <= pSum {
+		t.Errorf("I-frame compress (%v) not above P-frame (%v)", iSum, pSum)
+	}
+}
+
+func TestWorkloadDCTConstant(t *testing.T) {
+	pf := testFrame(t, video.PFrame)
+	w := NewWorkload(pf, platform.NewRNG(3))
+	av, _ := Times(DiscreteCosineTransform, 2)
+	for mb := 0; mb < len(pf.MBs); mb++ {
+		if got := w.Cost(JoinID(DiscreteCosineTransform, mb), 2); got != av {
+			t.Fatalf("DCT cost %v, want constant %v", got, av)
+		}
+	}
+}
+
+func TestRateControllerConservation(t *testing.T) {
+	rc := NewRateController(DefaultTargetBitrate, DefaultFrameRate)
+	base := rc.BaseBits()
+	var allocated float64
+	frames := 200
+	for i := 0; i < frames; i++ {
+		if i%10 == 9 {
+			rc.SkipFrame()
+			continue
+		}
+		allocated += rc.AllocFrame(i%50 == 0)
+	}
+	// Conservation: allocations + remaining carry = total base budget.
+	total := base * float64(frames)
+	if diff := allocated + rc.Carry() - total; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("bit conservation violated: allocated %v + carry %v != %v", allocated, rc.Carry(), total)
+	}
+}
+
+func TestRateControllerSkipRedistributes(t *testing.T) {
+	rc := NewRateController(DefaultTargetBitrate, DefaultFrameRate)
+	normal := rc.AllocFrame(false)
+	rc.Reset()
+	rc.SkipFrame()
+	boosted := rc.AllocFrame(false)
+	if boosted <= normal {
+		t.Errorf("allocation after skip (%v) not above normal (%v)", boosted, normal)
+	}
+}
+
+func TestRateControllerIntraDrawsMore(t *testing.T) {
+	rc := NewRateController(DefaultTargetBitrate, DefaultFrameRate)
+	p := rc.AllocFrame(false)
+	rc.Reset()
+	i := rc.AllocFrame(true)
+	if i <= p {
+		t.Errorf("intra allocation (%v) not above predicted (%v)", i, p)
+	}
+}
+
+func TestPSNRModelShape(t *testing.T) {
+	m := DefaultPSNRModel()
+	rng := platform.NewRNG(5)
+	pf := testFrame(t, video.PFrame)
+	base := m.EncodedFrame(pf, 3, 44_000, 44_000, rng)
+	higherQ := m.EncodedFrame(pf, 6, 44_000, 44_000, rng)
+	moreBits := m.EncodedFrame(pf, 3, 88_000, 44_000, rng)
+	if higherQ <= base-0.5 {
+		t.Errorf("PSNR not increasing with level: %v vs %v", higherQ, base)
+	}
+	if moreBits <= base-0.5 {
+		t.Errorf("PSNR not increasing with bits: %v vs %v", moreBits, base)
+	}
+	for i := 0; i < 100; i++ {
+		if s := m.SkippedFrame(rng); s >= 25 {
+			t.Fatalf("skipped-frame PSNR %v not below 25", s)
+		}
+	}
+}
+
+func TestEncoderControlledNoMisses(t *testing.T) {
+	cfg := video.DefaultConfig()
+	cfg.Frames = 12
+	cfg.Macroblocks = 60
+	src, err := video.NewSource(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := NewControlled(cfg.Macroblocks, cfg.Period, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !enc.Controlled() {
+		t.Fatal("Controlled() false")
+	}
+	for i := 0; i < src.Len(); i++ {
+		f := src.Frame(i)
+		rep, err := enc.EncodeFrame(&f, cfg.Period)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Misses != 0 || rep.Fallbacks != 0 {
+			t.Fatalf("frame %d: misses=%d fallbacks=%d", i, rep.Misses, rep.Fallbacks)
+		}
+		if rep.Elapsed > cfg.Period {
+			t.Fatalf("frame %d overran the budget: %v > %v", i, rep.Elapsed, cfg.Period)
+		}
+	}
+}
+
+func TestEncoderBudgetTooSmall(t *testing.T) {
+	if _, err := NewControlled(100, 1000, 1); err == nil {
+		t.Fatal("tiny budget accepted at construction")
+	}
+	enc, err := NewControlled(10, 100*core.Mcycle, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := testFrame(t, video.PFrame)
+	if _, err := enc.EncodeFrame(f, 1000); err == nil {
+		t.Fatal("tiny per-frame budget accepted")
+	}
+}
+
+func TestEncoderConstantLevel(t *testing.T) {
+	enc, err := NewConstant(8, 3, 10*core.Mcycle, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc.Controlled() {
+		t.Fatal("constant encoder claims control")
+	}
+	if enc.ConstQ() != 3 {
+		t.Fatal("ConstQ wrong")
+	}
+	f := testFrame(t, video.PFrame)
+	rep, err := enc.EncodeFrame(f, 10*core.Mcycle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MeanLevel != 3 {
+		t.Fatalf("mean level = %v, want 3", rep.MeanLevel)
+	}
+	if rep.CtrlFrac != 0 {
+		t.Fatal("constant encoder reported controller overhead")
+	}
+}
+
+func TestEncoderConstantRejectsBadLevel(t *testing.T) {
+	if _, err := NewConstant(8, 99, core.Mcycle, 1); err == nil {
+		t.Fatal("bad level accepted")
+	}
+}
+
+func TestEncodeFrameAtOnControlledFails(t *testing.T) {
+	enc, err := NewControlled(8, 10*core.Mcycle, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := testFrame(t, video.PFrame)
+	if _, err := enc.EncodeFrameAt(f, 10*core.Mcycle, 2); err == nil {
+		t.Fatal("EncodeFrameAt on controlled encoder accepted")
+	}
+}
+
+func TestEncoderDeterministicReplay(t *testing.T) {
+	f := testFrame(t, video.PFrame)
+	e1, _ := NewConstant(8, 3, 10*core.Mcycle, 77)
+	e2, _ := NewConstant(8, 3, 10*core.Mcycle, 77)
+	r1, err1 := e1.EncodeFrame(f, 10*core.Mcycle)
+	r2, err2 := e2.EncodeFrame(f, 10*core.Mcycle)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if r1.Elapsed != r2.Elapsed {
+		t.Fatalf("same seed diverged: %v vs %v", r1.Elapsed, r2.Elapsed)
+	}
+}
+
+func TestFrameAvCost(t *testing.T) {
+	if got := FrameAvCost(10, 3); got != MacroblockAv(3)*10 {
+		t.Fatalf("FrameAvCost = %v", got)
+	}
+}

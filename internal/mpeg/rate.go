@@ -1,0 +1,62 @@
+package mpeg
+
+// Rate control: the paper encodes at a target of 1.1 Mbit/s and notes
+// that when the constant-quality encoder skips frames, "the bits
+// corresponding to skipped frames are used to achieve better quality" in
+// that region. This closed-loop allocator reproduces exactly that
+// redistribution: a per-frame base allocation, a carry account fed by
+// skipped frames, and gradual spending of the carry.
+
+// DefaultTargetBitrate is the paper's 1.1 Mbit/s target.
+const DefaultTargetBitrate = 1_100_000.0
+
+// DefaultFrameRate is the paper's 25 frame/s camera.
+const DefaultFrameRate = 25.0
+
+// RateController allocates bits per frame against a target bitrate.
+type RateController struct {
+	baseBits     float64 // target bits per frame
+	carry        float64 // unspent bits from skipped frames
+	spendFrac    float64
+	iFrameFactor float64
+}
+
+// NewRateController builds an allocator for a bits-per-second target at
+// the given frame rate.
+func NewRateController(bitrate, framerate float64) *RateController {
+	return &RateController{
+		baseBits:     bitrate / framerate,
+		spendFrac:    0.35,
+		iFrameFactor: 3.0,
+	}
+}
+
+// BaseBits returns the steady-state per-frame allocation.
+func (rc *RateController) BaseBits() float64 { return rc.baseBits }
+
+// Carry returns the currently banked bits.
+func (rc *RateController) Carry() float64 { return rc.carry }
+
+// AllocFrame returns the bit allocation for an encoded frame and updates
+// the carry account. Intra frames draw a larger allocation (paid back by
+// the carry going negative, as real encoders do across a GOP).
+func (rc *RateController) AllocFrame(isIntra bool) float64 {
+	alloc := rc.baseBits + rc.spendFrac*rc.carry
+	if isIntra {
+		alloc += (rc.iFrameFactor - 1) * rc.baseBits
+	}
+	if alloc < 0.25*rc.baseBits {
+		alloc = 0.25 * rc.baseBits
+	}
+	rc.carry += rc.baseBits - alloc
+	return alloc
+}
+
+// SkipFrame records that a frame was dropped: its allocation is banked
+// for the following frames.
+func (rc *RateController) SkipFrame() {
+	rc.carry += rc.baseBits
+}
+
+// Reset clears the carry account.
+func (rc *RateController) Reset() { rc.carry = 0 }

@@ -1,0 +1,101 @@
+package mpeg
+
+import (
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/video"
+)
+
+// Workload turns synthetic frame content into actual execution times.
+// The model keeps the contract of safe control: every cost is clamped to
+// the figure 5 worst case for the level it runs at, so C <= Cwc_θ always
+// holds and Proposition 2.1 applies.
+//
+// Cost structure per action:
+//   - Grab_Macro_Block: mild uniform jitter around the average.
+//   - Motion_Estimate: scales with the macroblock's motion complexity at
+//     the chosen level; on I-frames the search aborts early (intra
+//     coding) and costs near the level-0 figure.
+//   - DCT / Intra_Predict: constant (figure 5 has Av = Wc).
+//   - Quantize / Inverse_* / Reconstruct: scale with texture.
+//   - Compress: scales with the bits produced: texture-driven, with a
+//     large intra factor on I-frames (entropy coding dominates there,
+//     which is what makes figure 6's I-frame spikes).
+type Workload struct {
+	frame *video.Frame
+	rng   *platform.RNG
+}
+
+// NewWorkload builds the per-frame workload. The RNG should be dedicated
+// to the frame so controlled and constant runs can replay identical
+// content.
+func NewWorkload(f *video.Frame, rng *platform.RNG) *Workload {
+	return &Workload{frame: f, rng: rng}
+}
+
+// iFrameCompressFactor is the entropy-coding load multiplier on intra
+// frames relative to predicted frames.
+const iFrameCompressFactor = 6.0
+
+// Cost implements platform.Workload for actions of a FrameGraph.
+func (w *Workload) Cost(a core.ActionID, q core.Level) core.Cycles {
+	base, mb := SplitID(a)
+	m := &w.frame.MBs[mb%len(w.frame.MBs)]
+	av, wc := Times(base, q)
+	var c float64
+	switch base {
+	case GrabMacroBlock:
+		c = float64(av) * (0.85 + 0.3*w.rng.Float64())
+	case MotionEstimate:
+		if w.frame.Type == video.IFrame {
+			// Intra frame: the search aborts immediately, whatever the
+			// requested level; cost is the trivial-search figure.
+			av0, wc0 := Times(MotionEstimate, 0)
+			c = float64(av0) * (0.8 + 0.6*w.rng.Float64())
+			return clampCycles(c, wc0)
+		}
+		c = float64(av) * m.Motion * lognoise(w.rng, 0.22)
+	case DiscreteCosineTransform, IntraPredict:
+		return av // figure 5: Av == Wc, content independent
+	case Quantize, InverseQuantize, InverseDiscreteCosineTransform, Reconstruct:
+		c = float64(av) * m.Texture * lognoise(w.rng, 0.12)
+	case Compress:
+		f := m.Texture
+		if w.frame.Type == video.IFrame {
+			f *= iFrameCompressFactor
+		}
+		c = float64(av) * f * lognoise(w.rng, 0.25)
+	default:
+		c = float64(av)
+	}
+	return clampCycles(c, wc)
+}
+
+// lognoise returns a multiplicative noise factor with mean ~1 and the
+// given spread, cheap and strictly positive.
+func lognoise(r *platform.RNG, sigma float64) float64 {
+	f := 1 + sigma*r.Norm()
+	if f < 0.2 {
+		f = 0.2
+	}
+	return f
+}
+
+// clampCycles rounds c and clamps it into [1, wc].
+func clampCycles(c float64, wc core.Cycles) core.Cycles {
+	v := core.Cycles(c)
+	if v < 1 {
+		v = 1
+	}
+	if v > wc {
+		v = wc
+	}
+	return v
+}
+
+// FrameAvCost returns the expected (table-average) cost of a whole frame
+// at constant quality q, before content modulation — a useful reference
+// line when reading the figures.
+func FrameAvCost(n int, q core.Level) core.Cycles {
+	return MacroblockAv(q) * core.Cycles(n)
+}

@@ -1,0 +1,69 @@
+package platform
+
+import (
+	"time"
+
+	"repro/internal/core"
+)
+
+// Clock abstracts the cycle counter register of the target processor.
+// The paper assumes "it is possible to read a register counting the
+// number of cycles elapsed"; Now is that register.
+type Clock interface {
+	// Now returns the cycles elapsed since the clock's origin.
+	Now() core.Cycles
+	// Advance consumes n cycles of computation. On the simulated clock
+	// this moves virtual time; on a wall clock it spins.
+	Advance(n core.Cycles)
+}
+
+// SimClock is the deterministic virtual cycle clock used by all
+// experiments. It makes simulated time explicit and immune to GC pauses
+// or goroutine scheduling of the host.
+type SimClock struct {
+	now core.Cycles
+}
+
+// NewSimClock returns a clock at cycle 0.
+func NewSimClock() *SimClock { return &SimClock{} }
+
+// Now returns the current virtual cycle count.
+func (c *SimClock) Now() core.Cycles { return c.now }
+
+// Advance moves virtual time forward by n cycles.
+func (c *SimClock) Advance(n core.Cycles) {
+	if n < 0 {
+		return
+	}
+	c.now = c.now.AddSat(n)
+}
+
+// Reset rewinds the clock to zero.
+func (c *SimClock) Reset() { c.now = 0 }
+
+// WallClock maps host wall time onto cycles at a configured frequency.
+// It exists for interactive demos; experiments use SimClock because the
+// Go runtime introduces milliseconds of jitter that an embedded cycle
+// counter does not have.
+type WallClock struct {
+	origin time.Time
+	hz     float64
+}
+
+// NewWallClock returns a wall clock calibrated at hz cycles per second.
+func NewWallClock(hz float64) *WallClock {
+	return &WallClock{origin: time.Now(), hz: hz}
+}
+
+// Now converts elapsed wall time to cycles.
+func (c *WallClock) Now() core.Cycles {
+	return core.Cycles(time.Since(c.origin).Seconds() * c.hz)
+}
+
+// Advance sleeps for the wall-time equivalent of n cycles.
+func (c *WallClock) Advance(n core.Cycles) {
+	if n <= 0 {
+		return
+	}
+	time.Sleep(time.Duration(float64(n) / c.hz * float64(time.Second)))
+}

@@ -1,0 +1,63 @@
+// Package platform simulates the execution platform of the paper's
+// evaluation: a single XiRisc-class processor whose only timing facility
+// is a cycle counter register. Execution is modelled with a deterministic
+// virtual cycle clock, which sidesteps the garbage collector and
+// goroutine scheduler of the Go runtime — on a wall clock those would
+// corrupt deadline accuracy at the sub-millisecond scales this controller
+// operates at. A wall-clock variant is provided for demos.
+package platform
+
+// RNG is a small, fast, deterministic pseudo-random generator
+// (xorshift64*), embedded so simulations are reproducible bit-for-bit
+// across runs and platforms and cheap enough to call per action.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed (0 is remapped).
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &RNG{state: seed}
+}
+
+// Next returns the next raw 64-bit value.
+func (r *RNG) Next() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Next()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). n must be positive.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("platform: Intn with non-positive n")
+	}
+	return int(r.Next() % uint64(n))
+}
+
+// Norm returns an approximately standard-normal value (sum of 12
+// uniforms, Irwin–Hall), adequate for load modelling and allocation
+// free.
+func (r *RNG) Norm() float64 {
+	var s float64
+	for i := 0; i < 12; i++ {
+		s += r.Float64()
+	}
+	return s - 6
+}
+
+// Split derives an independent generator, so subsystems can draw without
+// perturbing each other's sequences.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.Next() ^ 0xD1B54A32D192ED03)
+}

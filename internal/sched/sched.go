@@ -1,0 +1,188 @@
+// Package sched implements the coarse-grain adaptation policies the
+// paper positions itself against. All of them decide once per frame
+// (cycle) — "existing control techniques act at higher level, e.g. at
+// the beginning of a cycle, and their reactivity is slow" — unlike the
+// fine-grain controller, which re-decides after every action:
+//
+//   - Constant: fixed quality level, the industrial practice baseline of
+//     the evaluation (figures 6–9).
+//   - SkipOver: Koren & Shasha's skip-over model — under overload, drop
+//     a frame, at most one every S frames.
+//   - PIDFeedback: Lu et al.'s feedback-control scheduling — a PID loop
+//     on the measured lateness adjusts the quality setpoint.
+//   - Elastic: Buttazzo et al.'s elastic task model — pick the highest
+//     quality whose *worst-case* utilisation fits the period. Static and
+//     safe, but pessimistic, which is exactly the paper's criticism.
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// FrameContext is what a per-frame policy can observe before deciding:
+// everything known at the beginning of the cycle, nothing from inside it.
+type FrameContext struct {
+	Index      int         // frame number
+	Period     core.Cycles // P
+	Budget     core.Cycles // time budget for this frame
+	LastEncode core.Cycles // encoding time of the previous encoded frame (0 for the first)
+	BufferOcc  int         // input buffer occupancy after popping this frame
+	BufferCap  int         // K
+}
+
+// Decision is a per-frame choice: encode at Level, or skip the frame.
+type Decision struct {
+	Level core.Level
+	Skip  bool
+}
+
+// Policy decides a quality level (or a skip) once per frame.
+type Policy interface {
+	Name() string
+	Decide(ctx FrameContext) Decision
+	// Reset clears internal state between runs.
+	Reset()
+}
+
+// Constant is the fixed-quality baseline.
+type Constant struct {
+	Q core.Level
+}
+
+// Name implements Policy.
+func (c Constant) Name() string { return fmt.Sprintf("constant-q%d", c.Q) }
+
+// Decide implements Policy.
+func (c Constant) Decide(FrameContext) Decision { return Decision{Level: c.Q} }
+
+// Reset implements Policy.
+func (c Constant) Reset() {}
+
+// SkipOver implements the skip-over discipline: when the previous frame
+// overran the period, skip this frame — but never skip twice within a
+// window of S frames (the model's (m,k)-style guarantee: at least S−1 of
+// every S frames are processed).
+type SkipOver struct {
+	Q core.Level
+	S int // minimum distance between skips
+
+	lastSkip int
+}
+
+// NewSkipOver returns a skip-over policy at fixed level q with skip
+// distance s.
+func NewSkipOver(q core.Level, s int) *SkipOver {
+	return &SkipOver{Q: q, S: s, lastSkip: -1 << 30}
+}
+
+// Name implements Policy.
+func (p *SkipOver) Name() string { return fmt.Sprintf("skipover-q%d-s%d", p.Q, p.S) }
+
+// Decide implements Policy.
+func (p *SkipOver) Decide(ctx FrameContext) Decision {
+	overloaded := ctx.LastEncode > ctx.Period
+	if overloaded && ctx.Index-p.lastSkip >= p.S {
+		p.lastSkip = ctx.Index
+		return Decision{Level: p.Q, Skip: true}
+	}
+	return Decision{Level: p.Q}
+}
+
+// Reset implements Policy.
+func (p *SkipOver) Reset() { p.lastSkip = -1 << 30 }
+
+// PIDFeedback adapts the quality level with a PID controller on the
+// relative lateness of the previous frame, after Lu et al. Deadline
+// misses remain possible: the loop reacts only after an overrun has
+// already happened.
+type PIDFeedback struct {
+	Levels core.LevelSet
+	// Gains. Positive gains reduce quality when frames run late.
+	Kp, Ki, Kd float64
+	// Setpoint is the target utilisation of the period (e.g. 0.95).
+	Setpoint float64
+
+	u        float64 // continuous quality control value
+	integral float64
+	lastErr  float64
+	started  bool
+}
+
+// NewPIDFeedback returns a PID policy over the level set with
+// conventional gains.
+func NewPIDFeedback(levels core.LevelSet) *PIDFeedback {
+	p := &PIDFeedback{Levels: levels, Kp: 6.0, Ki: 1.2, Kd: 1.5, Setpoint: 0.95}
+	p.Reset()
+	return p
+}
+
+// Name implements Policy.
+func (p *PIDFeedback) Name() string { return "pid-feedback" }
+
+// Decide implements Policy.
+func (p *PIDFeedback) Decide(ctx FrameContext) Decision {
+	if ctx.LastEncode > 0 && ctx.Period > 0 {
+		util := float64(ctx.LastEncode) / float64(ctx.Period)
+		err := util - p.Setpoint // positive: running late
+		p.integral += err
+		// Anti-windup.
+		if p.integral > 3 {
+			p.integral = 3
+		}
+		if p.integral < -3 {
+			p.integral = -3
+		}
+		deriv := 0.0
+		if p.started {
+			deriv = err - p.lastErr
+		}
+		p.lastErr = err
+		p.started = true
+		p.u -= p.Kp*err + p.Ki*p.integral*0.1 + p.Kd*deriv
+		if max := float64(len(p.Levels) - 1); p.u > max {
+			p.u = max
+		}
+		if p.u < 0 {
+			p.u = 0
+		}
+	}
+	return Decision{Level: p.Levels[int(p.u+0.5)]}
+}
+
+// Reset implements Policy.
+func (p *PIDFeedback) Reset() {
+	p.u = float64(len(p.Levels)-1) / 2
+	p.integral = 0
+	p.lastErr = 0
+	p.started = false
+}
+
+// Elastic implements the elastic-task admission rule for our single
+// elastic task (the frame): choose the maximum level whose *worst-case*
+// demand fits the budget. It never misses, but because it reasons with
+// worst cases it wastes most of the budget when actual times sit near
+// the average — the pathology fine-grain control removes.
+type Elastic struct {
+	Levels core.LevelSet
+	// Demand returns the worst-case whole-frame demand at a level.
+	Demand func(q core.Level) core.Cycles
+}
+
+// Name implements Policy.
+func (e Elastic) Name() string { return "elastic-wc" }
+
+// Decide implements Policy.
+func (e Elastic) Decide(ctx FrameContext) Decision {
+	best := e.Levels.Min()
+	for _, q := range e.Levels {
+		if e.Demand(q) <= ctx.Budget {
+			best = q
+		}
+	}
+	return Decision{Level: best}
+}
+
+// Reset implements Policy.
+func (e Elastic) Reset() {}

@@ -1,0 +1,147 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func ctx(index int, period, lastEncode core.Cycles) FrameContext {
+	return FrameContext{
+		Index: index, Period: period, Budget: period,
+		LastEncode: lastEncode, BufferOcc: 0, BufferCap: 1,
+	}
+}
+
+func TestConstant(t *testing.T) {
+	p := Constant{Q: 4}
+	if p.Name() != "constant-q4" {
+		t.Errorf("name = %s", p.Name())
+	}
+	for i := 0; i < 10; i++ {
+		d := p.Decide(ctx(i, 100, core.Cycles(50+i*20)))
+		if d.Skip || d.Level != 4 {
+			t.Fatalf("decision %d: %+v", i, d)
+		}
+	}
+	p.Reset() // must not panic
+}
+
+func TestSkipOverSkipsUnderOverload(t *testing.T) {
+	p := NewSkipOver(3, 4)
+	// Not overloaded: never skip.
+	for i := 0; i < 5; i++ {
+		if d := p.Decide(ctx(i, 100, 90)); d.Skip {
+			t.Fatal("skip without overload")
+		}
+	}
+	// Overloaded: first opportunity skips.
+	d := p.Decide(ctx(5, 100, 150))
+	if !d.Skip {
+		t.Fatal("no skip under overload")
+	}
+	// Within the window: must not skip again, even overloaded.
+	for i := 6; i < 9; i++ {
+		if d := p.Decide(ctx(i, 100, 150)); d.Skip {
+			t.Fatalf("skip at %d violates the s=4 distance", i)
+		}
+	}
+	// Window elapsed: may skip again.
+	if d := p.Decide(ctx(9, 100, 150)); !d.Skip {
+		t.Fatal("no skip after window elapsed")
+	}
+}
+
+func TestSkipOverReset(t *testing.T) {
+	p := NewSkipOver(3, 10)
+	p.Decide(ctx(0, 100, 150)) // skip at 0
+	p.Reset()
+	if d := p.Decide(ctx(1, 100, 150)); !d.Skip {
+		t.Fatal("Reset did not clear skip history")
+	}
+}
+
+func TestPIDConvergesDownUnderOverload(t *testing.T) {
+	levels := core.NewLevelRange(0, 7)
+	p := NewPIDFeedback(levels)
+	var last core.Level
+	for i := 0; i < 50; i++ {
+		d := p.Decide(ctx(i, 100, 140)) // persistently 40% late
+		last = d.Level
+	}
+	if last != 0 {
+		t.Errorf("PID stuck at level %d under persistent overload", last)
+	}
+}
+
+func TestPIDClimbsWhenUnderloaded(t *testing.T) {
+	levels := core.NewLevelRange(0, 7)
+	p := NewPIDFeedback(levels)
+	// Drive it down first, then feed underload.
+	for i := 0; i < 30; i++ {
+		p.Decide(ctx(i, 100, 140))
+	}
+	var last core.Level
+	for i := 30; i < 200; i++ {
+		d := p.Decide(ctx(i, 100, 40))
+		last = d.Level
+	}
+	if last < 4 {
+		t.Errorf("PID failed to climb under persistent underload: level %d", last)
+	}
+}
+
+func TestPIDFirstDecisionMidRange(t *testing.T) {
+	levels := core.NewLevelRange(0, 7)
+	p := NewPIDFeedback(levels)
+	d := p.Decide(ctx(0, 100, 0)) // no history yet
+	if d.Level < 2 || d.Level > 5 {
+		t.Errorf("first PID level = %d, want mid-range", d.Level)
+	}
+}
+
+func TestPIDReset(t *testing.T) {
+	levels := core.NewLevelRange(0, 3)
+	p := NewPIDFeedback(levels)
+	for i := 0; i < 20; i++ {
+		p.Decide(ctx(i, 100, 200))
+	}
+	p.Reset()
+	if d := p.Decide(ctx(0, 100, 0)); d.Level == 0 {
+		t.Error("Reset did not restore the setpoint")
+	}
+}
+
+func TestElastic(t *testing.T) {
+	levels := core.NewLevelRange(0, 3)
+	demand := func(q core.Level) core.Cycles { return core.Cycles(100 * (int(q) + 1)) }
+	p := Elastic{Levels: levels, Demand: demand}
+	if p.Name() != "elastic-wc" {
+		t.Errorf("name = %s", p.Name())
+	}
+	cases := []struct {
+		budget core.Cycles
+		want   core.Level
+	}{
+		{1000, 3}, // everything fits
+		{250, 1},  // q2 needs 300
+		{100, 0},
+		{50, 0}, // nothing fits: qmin anyway
+	}
+	for _, c := range cases {
+		d := p.Decide(FrameContext{Budget: c.budget, Period: c.budget})
+		if d.Level != c.want || d.Skip {
+			t.Errorf("budget %v: level %d, want %d", c.budget, d.Level, c.want)
+		}
+	}
+	p.Reset() // must not panic
+}
+
+func TestPolicyNames(t *testing.T) {
+	if NewSkipOver(2, 3).Name() != "skipover-q2-s3" {
+		t.Error("skipover name")
+	}
+	if NewPIDFeedback(core.NewLevelRange(0, 1)).Name() != "pid-feedback" {
+		t.Error("pid name")
+	}
+}

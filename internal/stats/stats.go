@@ -1,0 +1,260 @@
+// Package stats provides the small statistics and series toolkit used by
+// the experiment harness: summaries, histograms, and text rendering of
+// per-frame series in the style of the paper's figures.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary describes a sample of float64 values.
+type Summary struct {
+	N              int
+	Min, Max       float64
+	Mean, Std      float64
+	P50, P90, P99  float64
+	Sum            float64
+	NonZero        int
+	FirstIdx, Last int // index of first and last sample (for series)
+}
+
+// Summarize computes a Summary of xs. An empty input yields a zero
+// Summary.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if len(xs) == 0 {
+		return s
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Min, s.Max = sorted[0], sorted[len(sorted)-1]
+	for _, x := range xs {
+		s.Sum += x
+		if x != 0 {
+			s.NonZero++
+		}
+	}
+	s.Mean = s.Sum / float64(len(xs))
+	var varAcc float64
+	for _, x := range xs {
+		d := x - s.Mean
+		varAcc += d * d
+	}
+	if len(xs) > 1 {
+		s.Std = math.Sqrt(varAcc / float64(len(xs)-1))
+	}
+	s.P50 = percentileSorted(sorted, 0.50)
+	s.P90 = percentileSorted(sorted, 0.90)
+	s.P99 = percentileSorted(sorted, 0.99)
+	s.Last = len(xs) - 1
+	return s
+}
+
+// percentileSorted returns the p-quantile (0..1) of a sorted sample using
+// nearest-rank interpolation.
+func percentileSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Percentile returns the p-quantile (0..1) of xs.
+func Percentile(xs []float64, p float64) float64 {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return percentileSorted(sorted, p)
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Count returns the number of elements satisfying pred.
+func Count(xs []float64, pred func(float64) bool) int {
+	n := 0
+	for _, x := range xs {
+		if pred(x) {
+			n++
+		}
+	}
+	return n
+}
+
+// Series is a named per-frame sequence, the unit the paper plots.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// NewSeries allocates a named series with capacity n.
+func NewSeries(name string, n int) *Series {
+	return &Series{Name: name, Values: make([]float64, 0, n)}
+}
+
+// Append adds a value.
+func (s *Series) Append(v float64) { s.Values = append(s.Values, v) }
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.Values) }
+
+// Summary summarises the series values.
+func (s *Series) Summary() Summary { return Summarize(s.Values) }
+
+// Histogram is a fixed-width-bin histogram.
+type Histogram struct {
+	Lo, Hi float64
+	Bins   []int
+	Under  int
+	Over   int
+}
+
+// NewHistogram allocates nbins uniform bins over [lo, hi).
+func NewHistogram(lo, hi float64, nbins int) *Histogram {
+	if nbins <= 0 || hi <= lo {
+		panic("stats: invalid histogram parameters")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Bins: make([]int, nbins)}
+}
+
+// Add inserts x.
+func (h *Histogram) Add(x float64) {
+	if x < h.Lo {
+		h.Under++
+		return
+	}
+	if x >= h.Hi {
+		h.Over++
+		return
+	}
+	i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Bins)))
+	if i >= len(h.Bins) {
+		i = len(h.Bins) - 1
+	}
+	h.Bins[i]++
+}
+
+// Total returns the number of samples added, including out-of-range.
+func (h *Histogram) Total() int {
+	t := h.Under + h.Over
+	for _, b := range h.Bins {
+		t += b
+	}
+	return t
+}
+
+// RenderTable renders aligned columns: a header row then rows of cells.
+func RenderTable(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// RenderASCIIPlot draws series as a rough ASCII chart of height rows,
+// good enough to eyeball the shape of the paper's figures in a terminal.
+// Each series gets a distinct glyph. X is the sample index.
+func RenderASCIIPlot(height, width int, series ...*Series) string {
+	if height < 2 || width < 8 || len(series) == 0 {
+		return ""
+	}
+	glyphs := []byte{'*', '+', 'o', 'x', '#', '@'}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	maxLen := 0
+	for _, s := range series {
+		for _, v := range s.Values {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		if len(s.Values) > maxLen {
+			maxLen = len(s.Values)
+		}
+	}
+	if maxLen == 0 || lo == hi {
+		return ""
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		for i, v := range s.Values {
+			col := i * (width - 1) / max(maxLen-1, 1)
+			rowF := (v - lo) / (hi - lo) * float64(height-1)
+			row := height - 1 - int(math.Round(rowF))
+			if row >= 0 && row < height && col >= 0 && col < width {
+				grid[row][col] = g
+			}
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "max %.2f\n", hi)
+	for _, row := range grid {
+		sb.Write(row)
+		sb.WriteByte('\n')
+	}
+	fmt.Fprintf(&sb, "min %.2f\n", lo)
+	for si, s := range series {
+		fmt.Fprintf(&sb, "  %c %s\n", glyphs[si%len(glyphs)], s.Name)
+	}
+	return sb.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,177 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("summary: %+v", s)
+	}
+	if math.Abs(s.Mean-3) > 1e-12 {
+		t.Errorf("mean = %v, want 3", s.Mean)
+	}
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-12 {
+		t.Errorf("std = %v, want sqrt(2.5)", s.Std)
+	}
+	if s.P50 != 3 {
+		t.Errorf("p50 = %v, want 3", s.P50)
+	}
+	if s.Sum != 15 {
+		t.Errorf("sum = %v", s.Sum)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 || s.Min != 0 {
+		t.Fatalf("empty summary: %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Mean != 7 || s.Min != 7 || s.Max != 7 || s.Std != 0 {
+		t.Fatalf("single summary: %+v", s)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	if got := Percentile(xs, 0); got != 10 {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := Percentile(xs, 1); got != 40 {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := Percentile(xs, 0.5); math.Abs(got-25) > 1e-12 {
+		t.Errorf("p50 = %v, want 25", got)
+	}
+	if got := Percentile(nil, 0.5); got != 0 {
+		t.Errorf("empty percentile = %v", got)
+	}
+}
+
+func TestMeanAndCount(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if Mean([]float64{2, 4}) != 3 {
+		t.Error("Mean wrong")
+	}
+	n := Count([]float64{1, -1, 2, -2}, func(x float64) bool { return x > 0 })
+	if n != 2 {
+		t.Errorf("Count = %d", n)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries("x", 4)
+	for i := 0; i < 4; i++ {
+		s.Append(float64(i))
+	}
+	if s.Len() != 4 {
+		t.Fatal("Len wrong")
+	}
+	if s.Summary().Max != 3 {
+		t.Fatal("Summary wrong")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 0, 1.9, 5, 9.99, 10, 100} {
+		h.Add(x)
+	}
+	if h.Under != 1 || h.Over != 2 {
+		t.Fatalf("under=%d over=%d", h.Under, h.Over)
+	}
+	if h.Bins[0] != 2 { // 0 and 1.9
+		t.Errorf("bin0 = %d", h.Bins[0])
+	}
+	if h.Total() != 7 {
+		t.Errorf("total = %d", h.Total())
+	}
+}
+
+func TestHistogramPanicsOnBadParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewHistogram(5, 5, 3)
+}
+
+func TestRenderTableAligns(t *testing.T) {
+	out := RenderTable([]string{"a", "bb"}, [][]string{{"xxx", "y"}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if len(lines[0]) != len(lines[1]) {
+		t.Errorf("misaligned header/separator: %q vs %q", lines[0], lines[1])
+	}
+}
+
+func TestRenderASCIIPlot(t *testing.T) {
+	s1 := &Series{Name: "one", Values: []float64{0, 1, 2, 3}}
+	s2 := &Series{Name: "two", Values: []float64{3, 2, 1, 0}}
+	out := RenderASCIIPlot(8, 40, s1, s2)
+	if !strings.Contains(out, "one") || !strings.Contains(out, "two") {
+		t.Fatal("legend missing")
+	}
+	if !strings.Contains(out, "max 3.00") {
+		t.Fatalf("max label missing:\n%s", out)
+	}
+	// Degenerate cases return empty.
+	if RenderASCIIPlot(1, 40, s1) != "" {
+		t.Error("tiny height should return empty")
+	}
+	flat := &Series{Name: "flat", Values: []float64{5, 5}}
+	if RenderASCIIPlot(8, 40, flat) != "" {
+		t.Error("flat series should return empty")
+	}
+}
+
+func TestPropertyPercentileWithinRange(t *testing.T) {
+	f := func(raw []float64, pRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		p := float64(pRaw) / 255
+		got := Percentile(raw, p)
+		s := Summarize(raw)
+		return got >= s.Min-1e-9 && got <= s.Max+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyMeanBetweenMinMax(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+				return true
+			}
+		}
+		s := Summarize(raw)
+		return s.Mean >= s.Min-1e-6 && s.Mean <= s.Max+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

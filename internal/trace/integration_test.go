@@ -1,0 +1,118 @@
+package trace_test
+
+// End-to-end test of the figure 4 flow's "timing analysis" leg: profile
+// an application's actions, estimate {Cav_q}/{Cwc_q} families from the
+// samples, assemble a parameterized system around them, and verify that
+// the controller built on the *estimated* model is safe when execution
+// replays the profiled behaviour (C never exceeds the observed maxima
+// the estimate was built from).
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mpeg"
+	"repro/internal/platform"
+	"repro/internal/trace"
+	"repro/internal/video"
+)
+
+func TestProfileEstimateControlLoop(t *testing.T) {
+	levels := mpeg.Levels()
+	body, err := mpeg.BodyGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := body.Len()
+
+	// Ground truth: the synthetic MPEG workload over a P-frame.
+	cfg := video.DefaultConfig()
+	cfg.Frames = 12
+	cfg.Sequences = 2
+	cfg.Macroblocks = 64
+	cfg.SequenceLoad = []float64{1.0, 1.0}
+	src, err := video.NewSource(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := src.Frame(1) // P-frame
+
+	// Pre-draw every sample so profiling and replay see the same data.
+	type key struct {
+		a  int
+		q  core.Level
+		it int
+	}
+	const reps = 200
+	draws := map[key]core.Cycles{}
+	w := mpeg.NewWorkload(&frame, platform.NewRNG(123))
+	for _, q := range levels {
+		for a := 0; a < n; a++ {
+			for it := 0; it < reps; it++ {
+				draws[key{a, q, it}] = w.Cost(mpeg.JoinID(a, it%len(frame.MBs)), q)
+			}
+		}
+	}
+
+	// 1. Profile.
+	rec := trace.NewRecorder(levels, n)
+	for k, c := range draws {
+		rec.Record(trace.Sample{Action: core.ActionID(k.a), Level: k.q, Cost: c})
+	}
+
+	// 2. Estimate families (no margin: the replay never exceeds the
+	// observed maximum by construction).
+	cav, cwc, err := rec.Estimate(trace.EstimateConfig{WcMargin: 1.0, FillUnsampled: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 3. Assemble the system: estimated times, one cycle deadline able
+	// to absorb the estimated qmin worst case.
+	var qminWc core.Cycles
+	for a := 0; a < n; a++ {
+		qminWc += cwc.At(levels.Min(), core.ActionID(a))
+	}
+	d := core.NewTimeFamily(levels, n, core.Inf)
+	budget := qminWc + qminWc/4
+	for _, s := range body.Sinks() {
+		for _, q := range levels {
+			d.Set(q, s, budget)
+		}
+	}
+	sys, err := core.NewSystem(body, levels, cav, cwc, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sys.FeasibleAtQmin() {
+		t.Fatal("estimated system infeasible at qmin")
+	}
+
+	// 4. Control cycles replaying the profiled draws.
+	ctrl, err := core.NewController(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var meanLevels float64
+	cycles := 50
+	for c := 0; c < cycles; c++ {
+		ctrl.Reset()
+		it := c % reps
+		res, err := ctrl.RunCycle(func(a core.ActionID, q core.Level) core.Cycles {
+			return draws[key{int(a), q, it}]
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Misses != 0 {
+			t.Fatalf("cycle %d missed %d deadlines on the estimated model", c, res.Misses)
+		}
+		meanLevels += res.MeanLevel()
+	}
+	meanLevels /= float64(cycles)
+	// The budget admits more than qmin on average: the controller must
+	// exploit it (this is the optimality half of the loop).
+	if meanLevels <= 0.5 {
+		t.Errorf("controller never rose above qmin (mean level %.2f)", meanLevels)
+	}
+}

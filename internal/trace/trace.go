@@ -1,0 +1,205 @@
+// Package trace implements the timing-analysis side of the method: the
+// paper assumes "it is possible by using timing analysis and profiling
+// techniques, to compute estimates of worst-case execution times and
+// average execution times of actions for the different levels of
+// quality". Recorder collects execution samples; estimators turn them
+// into the Cav/Cwc families the controller consumes. EWMA implements the
+// paper's future-work item "application of learning techniques for
+// better estimation of the average execution times".
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Sample is one observed action execution.
+type Sample struct {
+	Action core.ActionID
+	Level  core.Level
+	Cost   core.Cycles
+}
+
+// Recorder accumulates per-(action, level) execution statistics.
+type Recorder struct {
+	levels core.LevelSet
+	n      int
+	count  [][]int64
+	sum    [][]int64
+	max    [][]core.Cycles
+	min    [][]core.Cycles
+}
+
+// NewRecorder allocates a recorder for n actions over the level set.
+func NewRecorder(levels core.LevelSet, n int) *Recorder {
+	r := &Recorder{levels: levels, n: n}
+	nl := len(levels)
+	r.count = make([][]int64, nl)
+	r.sum = make([][]int64, nl)
+	r.max = make([][]core.Cycles, nl)
+	r.min = make([][]core.Cycles, nl)
+	for i := 0; i < nl; i++ {
+		r.count[i] = make([]int64, n)
+		r.sum[i] = make([]int64, n)
+		r.max[i] = make([]core.Cycles, n)
+		r.min[i] = make([]core.Cycles, n)
+		for a := 0; a < n; a++ {
+			r.min[i][a] = core.Inf
+		}
+	}
+	return r
+}
+
+// Record adds one observation.
+func (r *Recorder) Record(s Sample) {
+	qi := r.levels.Index(s.Level)
+	if qi < 0 || int(s.Action) >= r.n || s.Action < 0 {
+		panic(fmt.Sprintf("trace: sample out of range: %+v", s))
+	}
+	r.count[qi][s.Action]++
+	r.sum[qi][s.Action] += int64(s.Cost)
+	if s.Cost > r.max[qi][s.Action] {
+		r.max[qi][s.Action] = s.Cost
+	}
+	if s.Cost < r.min[qi][s.Action] {
+		r.min[qi][s.Action] = s.Cost
+	}
+}
+
+// Count returns the number of samples for (action, level).
+func (r *Recorder) Count(a core.ActionID, q core.Level) int64 {
+	return r.count[r.levels.Index(q)][a]
+}
+
+// Mean returns the observed average cost, or 0 if unsampled.
+func (r *Recorder) Mean(a core.ActionID, q core.Level) core.Cycles {
+	qi := r.levels.Index(q)
+	if r.count[qi][a] == 0 {
+		return 0
+	}
+	return core.Cycles(r.sum[qi][a] / r.count[qi][a])
+}
+
+// Max returns the observed maximum cost, or 0 if unsampled.
+func (r *Recorder) Max(a core.ActionID, q core.Level) core.Cycles {
+	return r.max[r.levels.Index(q)][a]
+}
+
+// EstimateConfig controls how families are derived from samples.
+type EstimateConfig struct {
+	// WcMargin inflates the observed maximum into a worst-case estimate
+	// (e.g. 1.25 for a 25% engineering margin). Must be >= 1.
+	WcMargin float64
+	// FillUnsampled substitutes this value where no samples exist.
+	FillUnsampled core.Cycles
+}
+
+// Estimate derives (Cav, Cwc) families from the recorded samples. The
+// families are monotonised in the level (a higher level never gets a
+// smaller estimate than a lower one) so they satisfy Definition 2.3 even
+// under sampling noise.
+func (r *Recorder) Estimate(cfg EstimateConfig) (cav, cwc *core.TimeFamily, err error) {
+	if cfg.WcMargin < 1 {
+		return nil, nil, fmt.Errorf("trace: WcMargin %v must be >= 1", cfg.WcMargin)
+	}
+	cav = core.NewTimeFamily(r.levels, r.n, 0)
+	cwc = core.NewTimeFamily(r.levels, r.n, 0)
+	for a := 0; a < r.n; a++ {
+		var prevAv, prevWc core.Cycles
+		for qi, q := range r.levels {
+			av := r.Mean(core.ActionID(a), q)
+			wc := core.Cycles(float64(r.Max(core.ActionID(a), q)) * cfg.WcMargin)
+			if r.count[qi][a] == 0 {
+				av, wc = cfg.FillUnsampled, cfg.FillUnsampled
+			}
+			if av < prevAv {
+				av = prevAv
+			}
+			if wc < prevWc {
+				wc = prevWc
+			}
+			if wc < av {
+				wc = av
+			}
+			cav.Set(q, core.ActionID(a), av)
+			cwc.Set(q, core.ActionID(a), wc)
+			prevAv, prevWc = av, wc
+		}
+	}
+	return cav, cwc, nil
+}
+
+// EWMA learns average execution times online with exponential smoothing:
+// est <- (1-alpha)*est + alpha*observation. It refines the Cav family
+// between cycles while the static Cwc family keeps safety intact.
+type EWMA struct {
+	levels core.LevelSet
+	alpha  float64
+	est    [][]float64
+	seen   [][]bool
+}
+
+// NewEWMA builds a learner for n actions with smoothing factor alpha in
+// (0, 1].
+func NewEWMA(levels core.LevelSet, n int, alpha float64) (*EWMA, error) {
+	if alpha <= 0 || alpha > 1 {
+		return nil, fmt.Errorf("trace: alpha %v out of (0,1]", alpha)
+	}
+	e := &EWMA{levels: levels, alpha: alpha}
+	e.est = make([][]float64, len(levels))
+	e.seen = make([][]bool, len(levels))
+	for i := range e.est {
+		e.est[i] = make([]float64, n)
+		e.seen[i] = make([]bool, n)
+	}
+	return e, nil
+}
+
+// Observe feeds one execution observation.
+func (e *EWMA) Observe(a core.ActionID, q core.Level, cost core.Cycles) {
+	qi := e.levels.Index(q)
+	if !e.seen[qi][a] {
+		e.est[qi][a] = float64(cost)
+		e.seen[qi][a] = true
+		return
+	}
+	e.est[qi][a] = (1-e.alpha)*e.est[qi][a] + e.alpha*float64(cost)
+}
+
+// Estimate returns the current estimate, or ok=false if unobserved.
+func (e *EWMA) Estimate(a core.ActionID, q core.Level) (core.Cycles, bool) {
+	qi := e.levels.Index(q)
+	if !e.seen[qi][a] {
+		return 0, false
+	}
+	return core.Cycles(e.est[qi][a]), true
+}
+
+// Apply writes the learned averages into a Cav family, clamping into
+// [1, cwc_q(a)] and monotonising across levels so the family remains a
+// valid Definition 2.3 average-time family. Unobserved entries keep
+// their current values.
+func (e *EWMA) Apply(cav, cwc *core.TimeFamily) {
+	n := len(cav.AtIndex(0))
+	for a := 0; a < n; a++ {
+		var prev core.Cycles
+		for _, q := range e.levels {
+			v := cav.At(q, core.ActionID(a))
+			if est, ok := e.Estimate(core.ActionID(a), q); ok {
+				v = est
+			}
+			if v < 1 {
+				v = 1
+			}
+			if wc := cwc.At(q, core.ActionID(a)); v > wc {
+				v = wc
+			}
+			if v < prev {
+				v = prev
+			}
+			cav.Set(q, core.ActionID(a), v)
+			prev = v
+		}
+	}
+}

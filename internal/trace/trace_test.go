@@ -1,0 +1,202 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+func TestRecorderStats(t *testing.T) {
+	levels := core.NewLevelRange(0, 1)
+	r := NewRecorder(levels, 2)
+	r.Record(Sample{Action: 0, Level: 0, Cost: 10})
+	r.Record(Sample{Action: 0, Level: 0, Cost: 20})
+	r.Record(Sample{Action: 0, Level: 1, Cost: 50})
+	if r.Count(0, 0) != 2 || r.Count(0, 1) != 1 || r.Count(1, 0) != 0 {
+		t.Fatal("counts wrong")
+	}
+	if r.Mean(0, 0) != 15 {
+		t.Errorf("mean = %v", r.Mean(0, 0))
+	}
+	if r.Max(0, 0) != 20 {
+		t.Errorf("max = %v", r.Max(0, 0))
+	}
+	if r.Mean(1, 1) != 0 {
+		t.Error("unsampled mean should be 0")
+	}
+}
+
+func TestRecorderPanicsOnBadSample(t *testing.T) {
+	r := NewRecorder(core.NewLevelRange(0, 1), 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	r.Record(Sample{Action: 5, Level: 0, Cost: 1})
+}
+
+func TestEstimateProducesValidFamilies(t *testing.T) {
+	levels := core.NewLevelRange(0, 2)
+	r := NewRecorder(levels, 2)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		for a := core.ActionID(0); a < 2; a++ {
+			for _, q := range levels {
+				base := 100 * (int64(q) + 1)
+				r.Record(Sample{Action: a, Level: q, Cost: core.Cycles(base + rng.Int63n(50))})
+			}
+		}
+	}
+	cav, cwc, err := r.Estimate(EstimateConfig{WcMargin: 1.2, FillUnsampled: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cav.NonDecreasing() || !cwc.NonDecreasing() {
+		t.Fatal("estimated families not monotone")
+	}
+	for a := core.ActionID(0); a < 2; a++ {
+		for _, q := range levels {
+			if cav.At(q, a) > cwc.At(q, a) {
+				t.Fatalf("Cav > Cwc at (%d, %d)", a, q)
+			}
+		}
+	}
+	// The worst-case margin must exceed the observed maximum.
+	if cwc.At(0, 0) < r.Max(0, 0) {
+		t.Error("WcMargin not applied")
+	}
+}
+
+func TestEstimateFillsUnsampled(t *testing.T) {
+	levels := core.NewLevelRange(0, 1)
+	r := NewRecorder(levels, 1)
+	r.Record(Sample{Action: 0, Level: 1, Cost: 40})
+	cav, _, err := r.Estimate(EstimateConfig{WcMargin: 1, FillUnsampled: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cav.At(0, 0) != 7 {
+		t.Errorf("unsampled Cav = %v, want fill 7", cav.At(0, 0))
+	}
+}
+
+func TestEstimateRejectsBadMargin(t *testing.T) {
+	r := NewRecorder(core.NewLevelRange(0, 0), 1)
+	if _, _, err := r.Estimate(EstimateConfig{WcMargin: 0.5}); err == nil {
+		t.Fatal("WcMargin < 1 accepted")
+	}
+}
+
+func TestEWMAValidation(t *testing.T) {
+	levels := core.NewLevelRange(0, 1)
+	if _, err := NewEWMA(levels, 1, 0); err == nil {
+		t.Error("alpha 0 accepted")
+	}
+	if _, err := NewEWMA(levels, 1, 1.5); err == nil {
+		t.Error("alpha > 1 accepted")
+	}
+}
+
+func TestEWMAConvergesToMean(t *testing.T) {
+	levels := core.NewLevelRange(0, 0)
+	e, err := NewEWMA(levels, 1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.Estimate(0, 0); ok {
+		t.Fatal("estimate before observation")
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 5000; i++ {
+		e.Observe(0, 0, core.Cycles(1000+rng.Int63n(200)))
+	}
+	est, ok := e.Estimate(0, 0)
+	if !ok {
+		t.Fatal("no estimate after observations")
+	}
+	if est < 1050 || est > 1150 {
+		t.Errorf("EWMA estimate %v far from true mean ~1100", est)
+	}
+}
+
+func TestEWMATracksShift(t *testing.T) {
+	levels := core.NewLevelRange(0, 0)
+	e, _ := NewEWMA(levels, 1, 0.2)
+	for i := 0; i < 100; i++ {
+		e.Observe(0, 0, 100)
+	}
+	for i := 0; i < 100; i++ {
+		e.Observe(0, 0, 500)
+	}
+	est, _ := e.Estimate(0, 0)
+	if est < 450 {
+		t.Errorf("EWMA failed to track the shift: %v", est)
+	}
+}
+
+func TestEWMAApplyKeepsFamilyValid(t *testing.T) {
+	levels := core.NewLevelRange(0, 2)
+	n := 3
+	cav := core.NewTimeFamily(levels, n, 100)
+	cwc := core.NewTimeFamily(levels, n, 0)
+	for a := 0; a < n; a++ {
+		for qi, q := range levels {
+			cwc.Set(q, core.ActionID(a), core.Cycles(150+50*qi))
+		}
+	}
+	e, _ := NewEWMA(levels, n, 0.3)
+	// Learn something wild: above wc for one entry, below for another.
+	for i := 0; i < 50; i++ {
+		e.Observe(0, 1, 10_000) // must clamp to Cwc
+		e.Observe(1, 0, 1)      // must stay >= 1 and keep monotonicity
+	}
+	e.Apply(cav, cwc)
+	if !cav.NonDecreasing() {
+		t.Fatal("Apply broke monotonicity")
+	}
+	for a := 0; a < n; a++ {
+		for _, q := range levels {
+			if cav.At(q, core.ActionID(a)) > cwc.At(q, core.ActionID(a)) {
+				t.Fatalf("Apply produced Cav > Cwc at (%d,%d)", a, q)
+			}
+		}
+	}
+}
+
+// Estimated families always satisfy Definition 2.3, whatever the sample
+// stream.
+func TestPropertyEstimateAlwaysValid(t *testing.T) {
+	levels := core.NewLevelRange(0, 3)
+	f := func(seed int64, nSamples uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := NewRecorder(levels, 3)
+		for i := 0; i < int(nSamples); i++ {
+			r.Record(Sample{
+				Action: core.ActionID(rng.Intn(3)),
+				Level:  core.Level(rng.Intn(4)),
+				Cost:   core.Cycles(rng.Int63n(10_000)),
+			})
+		}
+		cav, cwc, err := r.Estimate(EstimateConfig{WcMargin: 1.1, FillUnsampled: 5})
+		if err != nil {
+			return false
+		}
+		if !cav.NonDecreasing() || !cwc.NonDecreasing() {
+			return false
+		}
+		for a := core.ActionID(0); a < 3; a++ {
+			for _, q := range levels {
+				if cav.At(q, a) > cwc.At(q, a) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

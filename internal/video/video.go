@@ -1,0 +1,217 @@
+// Package video provides the synthetic benchmark stream standing in for
+// the paper's camera input: 582 frames in 9 sequences produced every
+// P = 320 Mcycle (25 frame/s at 8 GHz). Figures 6–9 depend only on the
+// stream's load statistics — sequence changes (I-frames), per-sequence
+// load levels, smooth in-sequence fluctuation — which this package
+// reproduces deterministically from a seed.
+package video
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+)
+
+// FrameType distinguishes intra-coded frames (sequence starts) from
+// predicted frames.
+type FrameType int
+
+const (
+	// PFrame is a predicted (inter-coded) frame.
+	PFrame FrameType = iota
+	// IFrame is an intra-coded frame, emitted at every sequence change.
+	IFrame
+)
+
+func (t FrameType) String() string {
+	if t == IFrame {
+		return "I"
+	}
+	return "P"
+}
+
+// Macroblock carries the synthetic content statistics that drive
+// execution time and rate–distortion behaviour.
+type Macroblock struct {
+	// Motion is the motion-search difficulty multiplier (~1.0 typical).
+	Motion float64
+	// Texture is the residual-energy multiplier driving transform,
+	// quantisation and entropy-coding load (~1.0 typical).
+	Texture float64
+}
+
+// Frame is one synthetic video frame.
+type Frame struct {
+	Index      int
+	Seq        int // sequence number, 0-based
+	Type       FrameType
+	Complexity float64 // frame-level load multiplier
+	MBs        []Macroblock
+}
+
+// Config parameterises the synthetic source. The zero value is unusable;
+// use DefaultConfig.
+type Config struct {
+	Frames      int
+	Sequences   int
+	Macroblocks int
+	Period      core.Cycles // P: cycles between camera frames
+	Seed        uint64
+	// SequenceLoad optionally fixes the per-sequence base complexity;
+	// len must equal Sequences. Nil selects the benchmark defaults,
+	// which include two overload sequences (the paper's two bursts of
+	// frame skips for constant quality).
+	SequenceLoad []float64
+}
+
+// DefaultConfig reproduces the paper's benchmark shape: 582 frames,
+// 9 sequences, P = 320 Mcycle.
+func DefaultConfig() Config {
+	return Config{
+		Frames:      582,
+		Sequences:   9,
+		Macroblocks: 1800,
+		Period:      320 * core.Mcycle,
+		Seed:        1,
+	}
+}
+
+// defaultSequenceLoad has two heavy sequences (indices 2 and 5), giving
+// the two bursts of frame skips figures 6–9 show for constant quality.
+var defaultSequenceLoad = []float64{0.85, 0.95, 1.24, 0.90, 1.00, 1.30, 0.80, 1.05, 0.92}
+
+// Source generates frames deterministically; Frame(i) is random access.
+type Source struct {
+	cfg    Config
+	bounds []int // first frame index of each sequence; len = Sequences+1
+	loads  []float64
+}
+
+// NewSource validates cfg and builds the source.
+func NewSource(cfg Config) (*Source, error) {
+	if cfg.Frames <= 0 || cfg.Sequences <= 0 || cfg.Macroblocks <= 0 {
+		return nil, fmt.Errorf("video: non-positive dimensions in config %+v", cfg)
+	}
+	if cfg.Sequences > cfg.Frames {
+		return nil, fmt.Errorf("video: more sequences (%d) than frames (%d)", cfg.Sequences, cfg.Frames)
+	}
+	if cfg.Period <= 0 {
+		return nil, fmt.Errorf("video: period must be positive")
+	}
+	loads := cfg.SequenceLoad
+	if loads == nil {
+		loads = make([]float64, cfg.Sequences)
+		for i := range loads {
+			loads[i] = defaultSequenceLoad[i%len(defaultSequenceLoad)]
+		}
+	}
+	if len(loads) != cfg.Sequences {
+		return nil, fmt.Errorf("video: SequenceLoad has %d entries, want %d", len(loads), cfg.Sequences)
+	}
+	s := &Source{cfg: cfg, loads: append([]float64(nil), loads...)}
+	s.bounds = sequenceBounds(cfg.Frames, cfg.Sequences, cfg.Seed)
+	return s, nil
+}
+
+// sequenceBounds splits nFrames into nSeq contiguous runs with mildly
+// irregular, seed-determined lengths.
+func sequenceBounds(nFrames, nSeq int, seed uint64) []int {
+	r := platform.NewRNG(seed ^ 0xA5A5)
+	weights := make([]float64, nSeq)
+	var total float64
+	for i := range weights {
+		weights[i] = 0.7 + 0.6*r.Float64()
+		total += weights[i]
+	}
+	bounds := make([]int, nSeq+1)
+	acc := 0.0
+	for i := 0; i < nSeq; i++ {
+		bounds[i] = int(acc / total * float64(nFrames))
+		acc += weights[i]
+	}
+	bounds[nSeq] = nFrames
+	// Guarantee non-empty sequences.
+	for i := 1; i <= nSeq; i++ {
+		if bounds[i] <= bounds[i-1] {
+			bounds[i] = bounds[i-1] + 1
+		}
+	}
+	if bounds[nSeq] > nFrames {
+		bounds[nSeq] = nFrames
+	}
+	return bounds
+}
+
+// Config returns the source configuration.
+func (s *Source) Config() Config { return s.cfg }
+
+// Len returns the number of frames.
+func (s *Source) Len() int { return s.cfg.Frames }
+
+// Period returns P, the camera inter-frame interval in cycles.
+func (s *Source) Period() core.Cycles { return s.cfg.Period }
+
+// SequenceOf returns the sequence index of frame i.
+func (s *Source) SequenceOf(i int) int {
+	for seq := 0; seq < s.cfg.Sequences; seq++ {
+		if i >= s.bounds[seq] && i < s.bounds[seq+1] {
+			return seq
+		}
+	}
+	return s.cfg.Sequences - 1
+}
+
+// SequenceStarts returns the frame indices at which sequences begin
+// (i.e. the I-frames).
+func (s *Source) SequenceStarts() []int {
+	out := make([]int, s.cfg.Sequences)
+	copy(out, s.bounds[:s.cfg.Sequences])
+	return out
+}
+
+// SequenceLoad returns the base load of sequence seq.
+func (s *Source) SequenceLoad(seq int) float64 { return s.loads[seq] }
+
+// Frame materialises frame i deterministically (random access).
+func (s *Source) Frame(i int) Frame {
+	if i < 0 || i >= s.cfg.Frames {
+		panic(fmt.Sprintf("video: frame index %d out of range [0,%d)", i, s.cfg.Frames))
+	}
+	seq := s.SequenceOf(i)
+	ft := PFrame
+	if i == s.bounds[seq] {
+		ft = IFrame
+	}
+	r := platform.NewRNG(s.cfg.Seed*0x10001 + uint64(i)*0x9E37 + 7)
+	base := s.loads[seq]
+	// Smooth in-sequence fluctuation plus per-frame noise.
+	phase := float64(i-s.bounds[seq]) / 17.0
+	complexity := base * (1 + 0.06*math.Sin(phase) + 0.035*r.Norm())
+	if complexity < 0.3 {
+		complexity = 0.3
+	}
+	f := Frame{Index: i, Seq: seq, Type: ft, Complexity: complexity}
+	f.MBs = make([]Macroblock, s.cfg.Macroblocks)
+	for m := range f.MBs {
+		// Per-MB variation around the frame complexity. Motion and
+		// texture are weakly correlated: busy areas cost in both.
+		shared := 0.25 * r.Norm()
+		motion := complexity * (1 + shared + 0.20*r.Norm())
+		texture := complexity * (1 + 0.5*shared + 0.15*r.Norm())
+		if motion < 0.1 {
+			motion = 0.1
+		}
+		if texture < 0.1 {
+			texture = 0.1
+		}
+		f.MBs[m] = Macroblock{Motion: motion, Texture: texture}
+	}
+	return f
+}
+
+// ArrivalTime returns the cycle at which the camera delivers frame i.
+func (s *Source) ArrivalTime(i int) core.Cycles {
+	return core.Cycles(i) * s.cfg.Period
+}

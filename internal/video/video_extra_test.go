@@ -1,0 +1,104 @@
+package video
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestSourceConfigRoundtrip(t *testing.T) {
+	cfg := testConfig()
+	src, err := NewSource(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := src.Config()
+	if got.Frames != cfg.Frames || got.Macroblocks != cfg.Macroblocks || got.Period != cfg.Period {
+		t.Fatalf("Config roundtrip: %+v vs %+v", got, cfg)
+	}
+	if src.Len() != cfg.Frames {
+		t.Fatal("Len mismatch")
+	}
+	if src.Period() != cfg.Period {
+		t.Fatal("Period mismatch")
+	}
+}
+
+func TestSequenceLoadAccessor(t *testing.T) {
+	cfg := testConfig()
+	cfg.SequenceLoad = []float64{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	src, err := NewSource(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 9; i++ {
+		if src.SequenceLoad(i) != float64(i+1) {
+			t.Fatalf("SequenceLoad(%d) = %v", i, src.SequenceLoad(i))
+		}
+	}
+}
+
+func TestFrameMacroblockCount(t *testing.T) {
+	cfg := testConfig()
+	cfg.Macroblocks = 17
+	src, err := NewSource(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < src.Len(); i += 13 {
+		if f := src.Frame(i); len(f.MBs) != 17 {
+			t.Fatalf("frame %d has %d MBs", i, len(f.MBs))
+		}
+	}
+}
+
+func TestSingleSequenceStream(t *testing.T) {
+	cfg := testConfig()
+	cfg.Sequences = 1
+	cfg.SequenceLoad = []float64{1.1}
+	src, err := NewSource(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iframes := 0
+	for i := 0; i < src.Len(); i++ {
+		if src.Frame(i).Type == IFrame {
+			iframes++
+		}
+		if src.SequenceOf(i) != 0 {
+			t.Fatalf("frame %d not in sequence 0", i)
+		}
+	}
+	if iframes != 1 {
+		t.Fatalf("I-frames = %d, want 1", iframes)
+	}
+}
+
+func TestSeedChangesContent(t *testing.T) {
+	a, err := NewSource(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig()
+	cfg.Seed = 999
+	b, err := NewSource(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := 0; i < 20; i++ {
+		if a.Frame(i).Complexity == b.Frame(i).Complexity {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds produced %d/20 identical complexities", same)
+	}
+}
+
+func TestPeriodMatchesEightGHzFramerate(t *testing.T) {
+	// 8 GHz / 25 frame/s = 320 Mcycle, the paper's arithmetic.
+	if DefaultConfig().Period != core.Cycles(8_000_000_000/25) {
+		t.Fatalf("period %v is not 8 GHz / 25 fps", DefaultConfig().Period)
+	}
+}

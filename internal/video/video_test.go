@@ -1,0 +1,209 @@
+package video
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Frames = 100
+	cfg.Macroblocks = 50
+	return cfg
+}
+
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Frames != 582 {
+		t.Errorf("Frames = %d, want 582", cfg.Frames)
+	}
+	if cfg.Sequences != 9 {
+		t.Errorf("Sequences = %d, want 9", cfg.Sequences)
+	}
+	if cfg.Period != 320*core.Mcycle {
+		t.Errorf("Period = %v, want 320 Mcycle", cfg.Period)
+	}
+}
+
+func TestNewSourceValidation(t *testing.T) {
+	bad := []Config{
+		{},
+		{Frames: 10, Sequences: 0, Macroblocks: 5, Period: 1},
+		{Frames: 10, Sequences: 3, Macroblocks: 0, Period: 1},
+		{Frames: 10, Sequences: 3, Macroblocks: 5, Period: 0},
+		{Frames: 2, Sequences: 5, Macroblocks: 5, Period: 1},
+		{Frames: 10, Sequences: 3, Macroblocks: 5, Period: 1, SequenceLoad: []float64{1}},
+	}
+	for i, cfg := range bad {
+		if _, err := NewSource(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestSequencePartition(t *testing.T) {
+	src, err := NewSource(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	starts := src.SequenceStarts()
+	if len(starts) != 9 {
+		t.Fatalf("starts = %v", starts)
+	}
+	if starts[0] != 0 {
+		t.Errorf("first sequence should start at 0, got %d", starts[0])
+	}
+	// Every frame belongs to exactly one sequence, non-decreasing.
+	prev := 0
+	for i := 0; i < src.Len(); i++ {
+		s := src.SequenceOf(i)
+		if s < prev || s > prev+1 {
+			t.Fatalf("sequence index jumped from %d to %d at frame %d", prev, s, i)
+		}
+		prev = s
+	}
+	if prev != 8 {
+		t.Errorf("last frame in sequence %d, want 8", prev)
+	}
+}
+
+func TestIFramesAtSequenceStarts(t *testing.T) {
+	src, err := NewSource(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	starts := map[int]bool{}
+	for _, s := range src.SequenceStarts() {
+		starts[s] = true
+	}
+	iCount := 0
+	for i := 0; i < src.Len(); i++ {
+		f := src.Frame(i)
+		if (f.Type == IFrame) != starts[i] {
+			t.Fatalf("frame %d: type %v but sequence-start=%v", i, f.Type, starts[i])
+		}
+		if f.Type == IFrame {
+			iCount++
+		}
+	}
+	if iCount != 9 {
+		t.Errorf("I-frame count = %d, want 9", iCount)
+	}
+}
+
+func TestFrameDeterministicRandomAccess(t *testing.T) {
+	src, err := NewSource(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := src.Frame(42)
+	b := src.Frame(42)
+	if a.Complexity != b.Complexity || len(a.MBs) != len(b.MBs) {
+		t.Fatal("Frame(42) not deterministic")
+	}
+	for i := range a.MBs {
+		if a.MBs[i] != b.MBs[i] {
+			t.Fatalf("MB %d differs between accesses", i)
+		}
+	}
+}
+
+func TestFrameContentPositive(t *testing.T) {
+	src, err := NewSource(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < src.Len(); i += 7 {
+		f := src.Frame(i)
+		if f.Complexity <= 0 {
+			t.Fatalf("frame %d complexity %v", i, f.Complexity)
+		}
+		for m, mb := range f.MBs {
+			if mb.Motion <= 0 || mb.Texture <= 0 {
+				t.Fatalf("frame %d MB %d: %+v", i, m, mb)
+			}
+		}
+	}
+}
+
+func TestSequenceLoadShapesComplexity(t *testing.T) {
+	cfg := testConfig()
+	cfg.SequenceLoad = []float64{0.5, 0.5, 0.5, 0.5, 2.0, 0.5, 0.5, 0.5, 0.5}
+	src, err := NewSource(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loHi [2]float64
+	var loN, hiN int
+	for i := 0; i < src.Len(); i++ {
+		f := src.Frame(i)
+		if f.Seq == 4 {
+			loHi[1] += f.Complexity
+			hiN++
+		} else {
+			loHi[0] += f.Complexity
+			loN++
+		}
+	}
+	if hiN == 0 || loN == 0 {
+		t.Fatal("partition empty")
+	}
+	if loHi[1]/float64(hiN) < 2*loHi[0]/float64(loN) {
+		t.Errorf("heavy sequence mean %.2f not well above light %.2f",
+			loHi[1]/float64(hiN), loHi[0]/float64(loN))
+	}
+}
+
+func TestArrivalTimes(t *testing.T) {
+	src, err := NewSource(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := src.Period()
+	for i := 0; i < 5; i++ {
+		if src.ArrivalTime(i) != core.Cycles(i)*p {
+			t.Fatalf("arrival %d wrong", i)
+		}
+	}
+}
+
+func TestFramePanicsOutOfRange(t *testing.T) {
+	src, _ := NewSource(testConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	src.Frame(100)
+}
+
+func TestFrameTypeString(t *testing.T) {
+	if IFrame.String() != "I" || PFrame.String() != "P" {
+		t.Fatal("FrameType.String wrong")
+	}
+}
+
+func TestPropertySequenceBoundsPartition(t *testing.T) {
+	f := func(seed uint64, framesRaw, seqRaw uint8) bool {
+		frames := 10 + int(framesRaw)%500
+		seqs := 1 + int(seqRaw)%9
+		if seqs > frames {
+			seqs = frames
+		}
+		b := sequenceBounds(frames, seqs, seed)
+		if b[0] != 0 || b[len(b)-1] != frames {
+			return false
+		}
+		for i := 1; i < len(b); i++ {
+			if b[i] <= b[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,213 @@
+// Package qos is the public API of the fine-grain QoS control library, a
+// reproduction of Combaz, Fernandez, Lepley and Sifakis, "Fine Grain QoS
+// Control for Multimedia Application Software" (DATE 2005).
+//
+// The library models a cyclic data-flow application as a precedence
+// graph of atomic actions with quality-level parameters, average and
+// worst-case execution times, and per-action deadlines. From that model
+// it builds a controller that, after every completed action, picks the
+// next action (EDF) and the maximal quality level that is (a) safe — all
+// remaining deadlines are met even if the next action hits its worst
+// case and everything after it falls back to minimal quality — and
+// (b) optimal — the available time budget is filled as far as average
+// behaviour allows.
+//
+// Quick start:
+//
+//	b := qos.NewGraphBuilder()
+//	b.AddAction("decode")
+//	b.AddAction("render")
+//	b.AddEdge("decode", "render")
+//	g, _ := b.Build()
+//	levels := qos.NewLevelRange(0, 3)
+//	// ... fill Cav/Cwc/D families ...
+//	sys, _ := qos.NewSystem(g, levels, cav, cwc, d)
+//	ctrl, _ := qos.NewController(sys)
+//	for !ctrl.Done() {
+//		d, _ := ctrl.Next()
+//		cost := run(d.Action, d.Level) // your action, your measurement
+//		ctrl.Completed(cost)
+//	}
+//
+// The subpackages used by the benchmark harness (the MPEG-4 encoder
+// model, the synthetic video source, the camera/buffer pipeline) are
+// exposed through the helper functions at the bottom of this file.
+package qos
+
+import (
+	"repro/internal/core"
+	"repro/internal/mpeg"
+	"repro/internal/pipeline"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/video"
+)
+
+// Core model types.
+type (
+	// ActionID identifies an action in a Graph.
+	ActionID = core.ActionID
+	// Graph is an immutable precedence graph of actions.
+	Graph = core.Graph
+	// GraphBuilder accumulates actions and edges into a Graph.
+	GraphBuilder = core.GraphBuilder
+	// Cycles counts CPU cycles, the library's time unit.
+	Cycles = core.Cycles
+	// TimeFn maps actions to times (execution times or deadlines).
+	TimeFn = core.TimeFn
+	// Level is a quality level.
+	Level = core.Level
+	// LevelSet is the ordered set Q of quality levels.
+	LevelSet = core.LevelSet
+	// TimeFamily is a quality-indexed family of time functions.
+	TimeFamily = core.TimeFamily
+	// Assignment is a quality assignment θ : A → Q.
+	Assignment = core.Assignment
+	// System is a parameterized real-time system (graph + families).
+	System = core.System
+	// Controller computes schedules and quality assignments online.
+	Controller = core.Controller
+	// Decision is one controller step: an action and its level.
+	Decision = core.Decision
+	// CycleResult summarises a controlled cycle.
+	CycleResult = core.CycleResult
+	// Mode selects hard or soft constraint enforcement.
+	Mode = core.Mode
+	// Option configures a Controller.
+	Option = core.Option
+	// Tables are precomputed constraint tables (the generated
+	// controller's fast path).
+	Tables = core.Tables
+	// IterativeTables is the constant-memory evaluator for n-fold
+	// iterated bodies with an end-of-cycle deadline.
+	IterativeTables = core.IterativeTables
+	// Evaluator is the admissibility oracle interface.
+	Evaluator = core.Evaluator
+)
+
+// Controller modes.
+const (
+	// Hard enforces safety and optimality constraints (no misses).
+	Hard = core.Hard
+	// Soft enforces only the average-time constraint.
+	Soft = core.Soft
+)
+
+// Inf is the +∞ value for Cycles (absent deadline / unbounded time).
+const Inf = core.Inf
+
+// Mcycle is one million cycles.
+const Mcycle = core.Mcycle
+
+// Core constructors and algorithms.
+var (
+	// NewGraphBuilder returns an empty graph builder.
+	NewGraphBuilder = core.NewGraphBuilder
+	// NewLevelRange returns the LevelSet {lo..hi}.
+	NewLevelRange = core.NewLevelRange
+	// NewTimeFn returns a TimeFn of n actions initialised to v.
+	NewTimeFn = core.NewTimeFn
+	// NewTimeFamily allocates a family over levels for n actions.
+	NewTimeFamily = core.NewTimeFamily
+	// NewAssignment returns an assignment of n actions at level q.
+	NewAssignment = core.NewAssignment
+	// NewSystem assembles and validates a parameterized system.
+	NewSystem = core.NewSystem
+	// NewController builds the QoS controller for a system.
+	NewController = core.NewController
+	// NewTables precomputes constraint tables along a schedule.
+	NewTables = core.NewTables
+	// NewIterativeTables builds the constant-memory evaluator.
+	NewIterativeTables = core.NewIterativeTables
+	// EDFSchedule computes the EDF schedule of a graph.
+	EDFSchedule = core.EDFSchedule
+	// EDFScheduleUnmodified is the no-deadline-modification ablation.
+	EDFScheduleUnmodified = core.EDFScheduleUnmodified
+	// ModifiedDeadlines propagates deadlines through precedence.
+	ModifiedDeadlines = core.ModifiedDeadlines
+	// Feasible tests min(D(α) − Ĉ(α)) >= 0.
+	Feasible = core.Feasible
+	// WithMode selects hard or soft control.
+	WithMode = core.WithMode
+	// WithMaxStep bounds upward quality jumps (smoothness).
+	WithMaxStep = core.WithMaxStep
+	// WithTables forces or forbids the precomputed-table fast path.
+	WithTables = core.WithTables
+	// WithSchedule fixes the schedule order.
+	WithSchedule = core.WithSchedule
+	// WithEvaluator installs a custom admissibility evaluator.
+	WithEvaluator = core.WithEvaluator
+)
+
+// Platform types: the simulated execution environment.
+type (
+	// Clock abstracts the platform cycle counter.
+	Clock = platform.Clock
+	// SimClock is the deterministic virtual cycle clock.
+	SimClock = platform.SimClock
+	// Executor runs controlled or constant cycles on a clock.
+	Executor = platform.Executor
+	// Workload models actual execution times.
+	Workload = platform.Workload
+	// WorkloadFunc adapts a function to Workload.
+	WorkloadFunc = platform.WorkloadFunc
+	// RNG is the deterministic generator used across the simulators.
+	RNG = platform.RNG
+)
+
+var (
+	// NewSimClock returns a virtual clock at cycle 0.
+	NewSimClock = platform.NewSimClock
+	// NewExecutor returns an executor on a fresh simulated clock.
+	NewExecutor = platform.NewExecutor
+	// NewRNG returns a seeded deterministic generator.
+	NewRNG = platform.NewRNG
+)
+
+// Benchmark-harness types: the MPEG-4 case study.
+type (
+	// VideoConfig parameterises the synthetic camera stream.
+	VideoConfig = video.Config
+	// VideoSource generates the benchmark frames.
+	VideoSource = video.Source
+	// Frame is one synthetic frame.
+	Frame = video.Frame
+	// MPEGEncoder is the controlled or constant-quality encoder model.
+	MPEGEncoder = mpeg.Encoder
+	// PipelineConfig selects the encoder and pipeline parameters.
+	PipelineConfig = pipeline.Config
+	// PipelineResult is a full benchmark run.
+	PipelineResult = pipeline.Result
+	// FrameRecord is the per-frame outcome of a pipeline run.
+	FrameRecord = pipeline.FrameRecord
+	// FramePolicy is a coarse-grain per-frame adaptation policy.
+	FramePolicy = sched.Policy
+	// EncoderOption configures the controlled MPEG encoder.
+	EncoderOption = mpeg.ControlledOption
+)
+
+var (
+	// DefaultVideoConfig is the paper's 582-frame benchmark shape.
+	DefaultVideoConfig = video.DefaultConfig
+	// NewVideoSource validates a config and builds the stream.
+	NewVideoSource = video.NewSource
+	// NewControlledEncoder builds the fine-grain controlled encoder.
+	NewControlledEncoder = mpeg.NewControlled
+	// NewConstantEncoder builds the constant-quality baseline.
+	NewConstantEncoder = mpeg.NewConstant
+	// RunPipeline simulates the camera/buffer/encoder pipeline.
+	RunPipeline = pipeline.Run
+	// MPEGBodyGraph returns the figure 2 macroblock graph.
+	MPEGBodyGraph = mpeg.BodyGraph
+	// MPEGLevels returns the quality level set {0..7}.
+	MPEGLevels = mpeg.Levels
+	// WithEncoderLearning enables online average-time learning in the
+	// controlled encoder (EWMA on observed action costs).
+	WithEncoderLearning = mpeg.WithLearning
+	// WithEncoderControllerOptions forwards controller options to the
+	// controlled encoder (mode, smoothness, ...).
+	WithEncoderControllerOptions = mpeg.WithControllerOptions
+	// WithEncoderPerMacroblockDeadlines enables the per-macroblock
+	// proportional deadline variant.
+	WithEncoderPerMacroblockDeadlines = mpeg.WithPerMacroblockDeadlines
+)

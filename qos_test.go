@@ -1,0 +1,155 @@
+package qos_test
+
+import (
+	"testing"
+
+	qos "repro"
+)
+
+// buildDemoSystem assembles a small system through the public API only.
+func buildDemoSystem(t testing.TB) *qos.System {
+	t.Helper()
+	b := qos.NewGraphBuilder()
+	b.AddAction("in")
+	b.AddAction("work")
+	b.AddAction("out")
+	b.AddEdge("in", "work")
+	b.AddEdge("work", "out")
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels := qos.NewLevelRange(0, 2)
+	n := g.Len()
+	cav := qos.NewTimeFamily(levels, n, 0)
+	cwc := qos.NewTimeFamily(levels, n, 0)
+	d := qos.NewTimeFamily(levels, n, qos.Inf)
+	id := func(s string) qos.ActionID { a, _ := g.Lookup(s); return a }
+	for qi, q := range levels {
+		cav.Set(q, id("in"), 5)
+		cwc.Set(q, id("in"), 8)
+		cav.Set(q, id("work"), qos.Cycles(10*(qi+1)))
+		cwc.Set(q, id("work"), qos.Cycles(20*(qi+1)))
+		cav.Set(q, id("out"), 5)
+		cwc.Set(q, id("out"), 8)
+		d.Set(q, id("out"), 100)
+	}
+	sys, err := qos.NewSystem(g, levels, cav, cwc, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestPublicAPIControllerRoundtrip(t *testing.T) {
+	sys := buildDemoSystem(t)
+	ctrl, err := qos.NewController(sys, qos.WithMode(qos.Hard))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := qos.NewRNG(1)
+	for cycle := 0; cycle < 3; cycle++ {
+		ctrl.Reset()
+		res, err := ctrl.RunCycle(func(a qos.ActionID, q qos.Level) qos.Cycles {
+			av := sys.Cav.At(q, a)
+			wc := sys.Cwc.At(q, a)
+			return av + qos.Cycles(rng.Float64()*float64(wc-av))
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Misses != 0 {
+			t.Fatalf("cycle %d missed %d deadlines", cycle, res.Misses)
+		}
+	}
+}
+
+func TestPublicAPIEDF(t *testing.T) {
+	sys := buildDemoSystem(t)
+	alpha := qos.EDFSchedule(sys.Graph, sys.Cwc.AtIndex(0), sys.D.AtIndex(0))
+	if !sys.Graph.IsSchedule(alpha) {
+		t.Fatal("EDF schedule invalid")
+	}
+	if !qos.Feasible(alpha, sys.Cwc.AtIndex(0), sys.D.AtIndex(0)) {
+		t.Fatal("demo system infeasible at qmin")
+	}
+	dstar := qos.ModifiedDeadlines(sys.Graph, sys.Cwc.AtIndex(0), sys.D.AtIndex(0))
+	if dstar[0].IsInf() {
+		t.Fatal("deadline modification did not propagate")
+	}
+}
+
+func TestPublicAPIExecutor(t *testing.T) {
+	sys := buildDemoSystem(t)
+	ctrl, err := qos.NewController(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := qos.NewExecutor()
+	// The default per-decision overhead is sized for Mcycle-scale
+	// frames; the demo system's whole cycle is 100 cycles.
+	ex.DecisionOverhead = 0
+	rep, err := ex.RunControlled(ctrl, qos.WorkloadFunc(func(a qos.ActionID, q qos.Level) qos.Cycles {
+		return sys.Cav.At(q, a)
+	}), sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Misses != 0 || rep.Actions != 3 {
+		t.Fatalf("report: %+v", rep)
+	}
+}
+
+func TestPublicAPIMPEGPipeline(t *testing.T) {
+	cfg := qos.DefaultVideoConfig()
+	cfg.Frames = 30
+	cfg.Macroblocks = 40
+	src, err := qos.NewVideoSource(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := qos.RunPipeline(qos.PipelineConfig{Source: src, K: 1, Controlled: true, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Skips != 0 || res.Misses != 0 {
+		t.Fatalf("controlled pipeline: skips=%d misses=%d", res.Skips, res.Misses)
+	}
+	g, err := qos.MPEGBodyGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 9 {
+		t.Fatal("body graph size")
+	}
+	if qos.MPEGLevels().Max() != 7 {
+		t.Fatal("level set")
+	}
+}
+
+func TestPublicAPIIterativeTables(t *testing.T) {
+	// A one-action body iterated 4 times under a 200-cycle budget.
+	b := qos.NewGraphBuilder()
+	b.AddAction("x")
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels := qos.NewLevelRange(0, 1)
+	cav := qos.NewTimeFamily(levels, 1, 10)
+	cwc := qos.NewTimeFamily(levels, 1, 20)
+	cwc.Set(1, 0, 40)
+	cav.Set(1, 0, 30)
+	d := qos.NewTimeFamily(levels, 1, qos.Inf)
+	body, err := qos.NewSystem(g, levels, cav, cwc, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := qos.NewIterativeTables(body, []qos.ActionID{0}, 4, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it.MinFeasibleBudget() != 80 {
+		t.Fatalf("min feasible = %v", it.MinFeasibleBudget())
+	}
+}
