@@ -1,0 +1,166 @@
+package qos_test
+
+import (
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	qos "repro"
+)
+
+// buildDemoSystemFluent assembles the demo system through the new
+// SystemBuilder surface.
+func buildDemoSystemFluent(t testing.TB) *qos.System {
+	t.Helper()
+	sys, err := qos.NewSystemBuilder().
+		Levels(0, 2).
+		Actions("in", "work", "out").
+		Chain("in", "work", "out").
+		TimeAll("in", 5, 8).
+		Time("work", 0, 10, 20).
+		Time("work", 1, 20, 40).
+		Time("work", 2, 30, 60).
+		TimeAll("out", 5, 8).
+		DeadlineAll("out", 100).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestPublicAPISystemBuilderSession(t *testing.T) {
+	sys := buildDemoSystemFluent(t)
+	var completions int
+	s, err := qos.NewSession(sys, qos.WithObserver(qos.FuncObserver{
+		Completion: func(qos.Decision, qos.Cycles, qos.Cycles) { completions++ },
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := qos.NewRNG(1)
+	for cycle := 0; cycle < 3; cycle++ {
+		s.Reset()
+		res, err := s.RunFunc(func(a qos.ActionID, q qos.Level) qos.Cycles {
+			av := sys.Cav.At(q, a)
+			wc := sys.Cwc.At(q, a)
+			return av + qos.Cycles(rng.Float64()*float64(wc-av))
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Misses != 0 {
+			t.Fatalf("cycle %d missed %d deadlines", cycle, res.Misses)
+		}
+	}
+	if completions != 9 {
+		t.Fatalf("observer saw %d completions, want 9", completions)
+	}
+}
+
+func TestPublicAPIBuilderErrorsNameOffence(t *testing.T) {
+	_, err := qos.NewSystemBuilder().
+		Levels(0, 1).
+		Actions("a", "a").
+		Build()
+	if err == nil || !strings.Contains(err.Error(), `action "a" declared twice`) {
+		t.Fatalf("error %v does not name the duplicate action", err)
+	}
+}
+
+func TestPublicAPIRuntimeConcurrent(t *testing.T) {
+	sys := buildDemoSystemFluent(t)
+	rt, err := qos.NewRuntime(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const streams = 8
+	var wg sync.WaitGroup
+	for g := 0; g < streams; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := qos.NewRNG(uint64(g))
+			s := rt.Acquire()
+			defer rt.Release(s)
+			for c := 0; c < 100; c++ {
+				s.Reset()
+				res, err := s.RunFunc(func(a qos.ActionID, q qos.Level) qos.Cycles {
+					av := sys.Cav.At(q, a)
+					wc := sys.Cwc.At(q, a)
+					return av + qos.Cycles(rng.Float64()*float64(wc-av))
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if res.Misses != 0 {
+					t.Errorf("stream %d cycle %d: %d misses", g, c, res.Misses)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := rt.Stats(); st.Cycles != streams*100 || st.Misses != 0 {
+		t.Fatalf("runtime stats: %+v", st)
+	}
+}
+
+func TestPublicAPILoadModel(t *testing.T) {
+	b, err := qos.LoadModel(filepath.Join("examples", "models", "mpeg_body.qos"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Graph.Len() != 72 {
+		t.Fatalf("unrolled graph has %d actions, want 72", sys.Graph.Len())
+	}
+	if !sys.FeasibleAtQmin() {
+		t.Fatal("model infeasible at qmin")
+	}
+	s, err := qos.NewSession(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.RunFunc(func(a qos.ActionID, q qos.Level) qos.Cycles {
+		return sys.Cav.At(q, a)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Misses != 0 || res.MeanLevel() < 1 {
+		t.Fatalf("model run: misses=%d meanQ=%.2f", res.Misses, res.MeanLevel())
+	}
+}
+
+// TestPublicAPIRecorderRoundtrip wires a session observer into the
+// profiling recorder and rebuilds execution-time families from the
+// observed samples — the timing-analysis loop of the paper.
+func TestPublicAPIRecorderRoundtrip(t *testing.T) {
+	sys := buildDemoSystemFluent(t)
+	rec := qos.NewRecorder(sys.Levels, sys.Graph.Len())
+	s, err := qos.NewSession(sys, qos.WithObserver(qos.RecorderObserver(rec, nil)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 10; c++ {
+		s.Reset()
+		if _, err := s.RunFunc(func(a qos.ActionID, q qos.Level) qos.Cycles {
+			return sys.Cav.At(q, a)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cav, cwc, err := rec.Estimate(qos.EstimateConfig{WcMargin: 1.5, FillUnsampled: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cav.NonDecreasing() || !cwc.NonDecreasing() {
+		t.Fatal("estimated families not monotone")
+	}
+}

@@ -14,8 +14,11 @@
 package qos_test
 
 import (
+	"path/filepath"
+	"runtime"
 	"testing"
 
+	qos "repro"
 	"repro/internal/core"
 	"repro/internal/decoder"
 	"repro/internal/experiments"
@@ -25,6 +28,56 @@ import (
 	"repro/internal/stats"
 	"repro/internal/video"
 )
+
+// BenchmarkRuntimeConcurrentStreams measures the multi-stream serving
+// path: one shared System (the 8-macroblock MPEG body model, 72 actions
+// per cycle) served to GOMAXPROCS concurrent streams through one
+// Runtime. ns/op is per served cycle; with the precomputed tables
+// shared and controller instances pooled, cycles/sec scales linearly
+// with GOMAXPROCS (compare runs under -cpu 1,2,4,8).
+func BenchmarkRuntimeConcurrentStreams(b *testing.B) {
+	bld, err := qos.LoadModel(filepath.Join("examples", "models", "mpeg_body.qos"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := bld.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt, err := qos.NewRuntime(sys)
+	if err != nil {
+		b.Fatal(err)
+	}
+	workload := func(a qos.ActionID, q qos.Level) qos.Cycles {
+		return sys.Cav.At(q, a)
+	}
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "procs")
+	// At least 8 concurrent sessions even on a single-core runner (the
+	// -race acceptance shape); on larger machines parallelism is
+	// 8 x GOMAXPROCS.
+	b.SetParallelism(8)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		s := rt.Acquire()
+		defer rt.Release(s)
+		for pb.Next() {
+			s.Reset()
+			res, err := s.RunFunc(workload)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			if res.Misses != 0 {
+				b.Errorf("missed %d deadlines", res.Misses)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	if st := rt.Stats(); st.Misses != 0 {
+		b.Fatalf("served with misses: %+v", st)
+	}
+}
 
 // benchOptions is the reduced-scale configuration used by the figure
 // benches (full 582-frame stream, 600-MB frames).

@@ -19,8 +19,8 @@ import (
 	"os"
 	"strconv"
 
+	qos "repro"
 	"repro/internal/experiments"
-	"repro/internal/pipeline"
 	"repro/internal/stats"
 )
 
@@ -151,7 +151,7 @@ func printSeriesTable(every int, unit string, a, b *stats.Series) {
 	fmt.Printf("summary %-44s mean=%.2f min=%.2f max=%.2f\n", b.Name, sb.Mean, sb.Min, sb.Max)
 }
 
-func printRunSummary(name string, res *pipeline.Result) {
+func printRunSummary(name string, res *qos.PipelineResult) {
 	util := experiments.UtilisationSummary(res)
 	fmt.Printf("run %-46s skips=%d misses=%d fallbacks=%d utilisation(mean)=%.3f ctrl-overhead=%.4f\n",
 		name, res.Skips, res.Misses, res.Fallbacks, util.Mean, res.MeanCtrlFrac)

@@ -2,7 +2,8 @@
 // textual model description (the prototype tool's input format: actions,
 // edges, levels, time tables, deadlines). It can show the model, check
 // schedulability, print the EDF schedule and the precomputed constraint
-// tables, and simulate controlled cycles under random load.
+// tables, and simulate controlled cycles under random load — one stream
+// or many concurrent streams served by one shared Runtime.
 //
 // Usage:
 //
@@ -11,58 +12,62 @@
 //	qosctl -model app.qos schedule
 //	qosctl -model app.qos tables
 //	qosctl -model app.qos simulate -cycles 10 -seed 7 -load 0.5
+//	qosctl -model app.qos simulate -streams 8 -cycles 100
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 
+	qos "repro"
 	"repro/internal/codegen"
-	"repro/internal/core"
-	"repro/internal/platform"
 )
 
 func main() {
 	var (
 		modelPath = flag.String("model", "", "path to the textual model file")
-		cycles    = flag.Int("cycles", 5, "simulate: number of cycles to run")
+		cycles    = flag.Int("cycles", 5, "simulate: number of cycles to run per stream")
 		seed      = flag.Uint64("seed", 1, "simulate: random seed")
 		load      = flag.Float64("load", 0.5, "simulate: load position in [0,1] between Cav and Cwc")
 		soft      = flag.Bool("soft", false, "simulate: soft mode (average constraint only)")
+		streams   = flag.Int("streams", 1, "simulate: concurrent streams served by one shared runtime")
 	)
 	flag.Parse()
-	if *modelPath == "" || flag.NArg() != 1 {
+	args := flag.Args()
+	// Accept flags on either side of the subcommand (flag parsing
+	// stops at the first non-flag argument, so "simulate -streams 8"
+	// needs a second pass).
+	cmd := ""
+	if len(args) > 0 {
+		cmd = args[0]
+		if err := flag.CommandLine.Parse(args[1:]); err != nil {
+			os.Exit(2)
+		}
+	}
+	if *modelPath == "" || cmd == "" || flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: qosctl -model <file> {show|check|schedule|tables|simulate}")
 		os.Exit(2)
 	}
-	if err := run(*modelPath, flag.Arg(0), *cycles, *seed, *load, *soft); err != nil {
+	if err := run(*modelPath, cmd, *cycles, *seed, *load, *soft, *streams); err != nil {
 		fmt.Fprintln(os.Stderr, "qosctl:", err)
 		os.Exit(1)
 	}
 }
 
-func run(modelPath, cmd string, cycles int, seed uint64, load float64, soft bool) error {
-	f, err := os.Open(modelPath)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	m, err := codegen.Parse(f)
-	if err != nil {
-		return err
-	}
+func run(modelPath, cmd string, cycles int, seed uint64, load float64, soft bool, streams int) error {
 	switch cmd {
 	case "show":
-		sys, err := m.BuildSystem()
+		sys, iterate, err := buildSystem(modelPath)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("actions: %d  levels: %v  iterate: %d\n", sys.Graph.Len(), sys.Levels, m.Iterate)
+		fmt.Printf("actions: %d  levels: %v  iterate: %d\n", sys.Graph.Len(), sys.Levels, iterate)
 		fmt.Print(sys.Graph.String())
 		return nil
 	case "check":
-		sys, err := m.BuildSystem()
+		sys, _, err := buildSystem(modelPath)
 		if err != nil {
 			return err
 		}
@@ -77,58 +82,128 @@ func run(modelPath, cmd string, cycles int, seed uint64, load float64, soft bool
 			fmt.Println("deadline order depends on quality: controller will use direct evaluation")
 		}
 		return nil
-	case "schedule":
+	case "schedule", "tables":
+		// The generation commands operate on the raw codegen model (they
+		// emit the prototype tool's artifacts, not a running system).
+		f, err := os.Open(modelPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		m, err := codegen.Parse(f)
+		if err != nil {
+			return err
+		}
 		ar, err := codegen.Generate(m)
 		if err != nil {
 			return err
 		}
-		return ar.WriteSchedule(os.Stdout)
-	case "tables":
-		ar, err := codegen.Generate(m)
-		if err != nil {
-			return err
+		if cmd == "schedule" {
+			return ar.WriteSchedule(os.Stdout)
 		}
 		return ar.WriteTables(os.Stdout)
 	case "simulate":
-		return simulate(m, cycles, seed, load, soft)
+		return simulate(modelPath, cycles, seed, load, soft, streams)
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
 }
 
-func simulate(m *codegen.Model, cycles int, seed uint64, load float64, soft bool) error {
-	sys, err := m.BuildSystem()
+// buildSystem loads the model file through the public builder API,
+// keeping the iterate count for display.
+func buildSystem(path string) (*qos.System, int, error) {
+	b, err := qos.LoadModel(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	sys, err := b.Build()
+	if err != nil {
+		return nil, 0, err
+	}
+	return sys, b.Iterations(), nil
+}
+
+// streamResult aggregates one simulated stream.
+type streamResult struct {
+	elapsed qos.Cycles
+	meanQ   float64
+	misses  int
+	fallb   int
+	err     error
+}
+
+func simulate(modelPath string, cycles int, seed uint64, load float64, soft bool, streams int) error {
+	b, err := qos.LoadModel(modelPath)
 	if err != nil {
 		return err
 	}
-	opts := []core.Option{}
+	sys, err := b.Build()
+	if err != nil {
+		return err
+	}
+	var opts []qos.Option
 	if soft {
-		opts = append(opts, core.WithMode(core.Soft))
+		opts = append(opts, qos.WithMode(qos.Soft))
 	}
-	ctrl, err := core.NewController(sys, opts...)
+	if streams < 1 {
+		streams = 1
+	}
+	// One shared runtime serves every stream: the schedule and the
+	// constraint tables are computed once.
+	rt, err := qos.NewRuntime(sys, opts...)
 	if err != nil {
 		return err
 	}
-	rng := platform.NewRNG(seed)
-	for c := 0; c < cycles; c++ {
-		ctrl.Reset()
-		res, err := ctrl.RunCycle(func(a core.ActionID, q core.Level) core.Cycles {
-			av := sys.Cav.At(q, a)
-			wc := sys.Cwc.At(q, a)
-			if wc.IsInf() {
-				wc = av * 2
+	results := make([]streamResult, streams)
+	var wg sync.WaitGroup
+	for st := 0; st < streams; st++ {
+		wg.Add(1)
+		go func(st int) {
+			defer wg.Done()
+			rng := qos.NewRNG(seed + uint64(st))
+			s := rt.Acquire()
+			defer rt.Release(s)
+			r := &results[st]
+			var qSum float64
+			for c := 0; c < cycles; c++ {
+				s.Reset()
+				res, err := s.RunFunc(func(a qos.ActionID, q qos.Level) qos.Cycles {
+					av := sys.Cav.At(q, a)
+					wc := sys.Cwc.At(q, a)
+					if wc.IsInf() {
+						wc = av * 2
+					}
+					f := load * rng.Float64() * 2
+					if f > 1 {
+						f = 1
+					}
+					return av + qos.Cycles(f*float64(wc-av))
+				})
+				if err != nil {
+					r.err = err
+					return
+				}
+				r.elapsed += res.Elapsed
+				qSum += res.MeanLevel()
+				r.misses += res.Misses
+				r.fallb += res.Fallbacks
 			}
-			f := load * rng.Float64() * 2
-			if f > 1 {
-				f = 1
+			if cycles > 0 {
+				r.meanQ = qSum / float64(cycles)
+				r.elapsed /= qos.Cycles(cycles)
 			}
-			return av + core.Cycles(f*float64(wc-av))
-		})
-		if err != nil {
-			return err
-		}
-		fmt.Printf("cycle %2d: elapsed=%-10s meanQ=%.2f misses=%d fallbacks=%d\n",
-			c, res.Elapsed, res.MeanLevel(), res.Misses, res.Fallbacks)
+		}(st)
 	}
+	wg.Wait()
+	for st, r := range results {
+		if r.err != nil {
+			return fmt.Errorf("stream %d: %w", st, r.err)
+		}
+		fmt.Printf("stream %2d: %d cycles, mean elapsed=%-10s meanQ=%.2f misses=%d fallbacks=%d\n",
+			st, cycles, r.elapsed, r.meanQ, r.misses, r.fallb)
+	}
+	agg := rt.Stats()
+	fmt.Printf("runtime: served %d cycles / %d actions across %d streams (misses=%d fallbacks=%d)\n",
+		agg.Cycles, agg.Actions, streams, agg.Misses, agg.Fallbacks)
 	return nil
 }

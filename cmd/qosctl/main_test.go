@@ -29,7 +29,7 @@ func modelFile(t *testing.T) string {
 func TestRunCommands(t *testing.T) {
 	path := modelFile(t)
 	for _, cmd := range []string{"show", "check", "schedule", "tables"} {
-		if err := run(path, cmd, 0, 0, 0, false); err != nil {
+		if err := run(path, cmd, 0, 0, 0, false, 1); err != nil {
 			t.Errorf("%s: %v", cmd, err)
 		}
 	}
@@ -37,22 +37,22 @@ func TestRunCommands(t *testing.T) {
 
 func TestRunSimulate(t *testing.T) {
 	path := modelFile(t)
-	if err := run(path, "simulate", 3, 7, 0.5, false); err != nil {
+	if err := run(path, "simulate", 3, 7, 0.5, false, 1); err != nil {
 		t.Fatalf("simulate: %v", err)
 	}
-	if err := run(path, "simulate", 3, 7, 0.5, true); err != nil {
+	if err := run(path, "simulate", 3, 7, 0.5, true, 1); err != nil {
 		t.Fatalf("simulate soft: %v", err)
 	}
 }
 
 func TestRunUnknownCommand(t *testing.T) {
-	if err := run(modelFile(t), "bogus", 0, 0, 0, false); err == nil {
+	if err := run(modelFile(t), "bogus", 0, 0, 0, false, 1); err == nil {
 		t.Fatal("unknown command accepted")
 	}
 }
 
 func TestRunMissingFile(t *testing.T) {
-	if err := run("/nonexistent.qos", "show", 0, 0, 0, false); err == nil {
+	if err := run("/nonexistent.qos", "show", 0, 0, 0, false, 1); err == nil {
 		t.Fatal("missing file accepted")
 	}
 }
@@ -63,8 +63,14 @@ func TestRunMPEGBodyModel(t *testing.T) {
 		t.Skipf("model file unavailable: %v", err)
 	}
 	for _, cmd := range []string{"check", "schedule", "simulate"} {
-		if err := run(path, cmd, 2, 1, 0.4, false); err != nil {
+		if err := run(path, cmd, 2, 1, 0.4, false, 1); err != nil {
 			t.Errorf("%s: %v", cmd, err)
 		}
+	}
+}
+
+func TestRunSimulateConcurrentStreams(t *testing.T) {
+	if err := run(modelFile(t), "simulate", 20, 7, 0.5, false, 8); err != nil {
+		t.Fatalf("simulate -streams 8: %v", err)
 	}
 }

@@ -4,10 +4,16 @@
 // application — the EDF schedule, the precomputed constraint tables, and
 // a C-like controlled-application source listing.
 //
+// It can also (re)generate the built-in MPEG-4 macroblock body model
+// (the figure 2 graph with the figure 5 times), the fixture at
+// examples/models/mpeg_body.qos.
+//
 // Usage:
 //
 //	tablegen -model app.qos -o out/        # writes schedule.txt, tables.txt, controlled.c
 //	tablegen -model app.qos -stdout        # dump everything to stdout
+//	tablegen -emit-mpeg-body -o examples/models/   # write mpeg_body.qos
+//	tablegen -emit-mpeg-body -stdout               # print the model
 package main
 
 import (
@@ -17,6 +23,8 @@ import (
 	"path/filepath"
 
 	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/mpeg"
 )
 
 func main() {
@@ -24,16 +32,41 @@ func main() {
 		modelPath = flag.String("model", "", "path to the textual model file")
 		outDir    = flag.String("o", "", "output directory (created if missing)")
 		stdout    = flag.Bool("stdout", false, "write everything to stdout instead")
+		emitBody  = flag.Bool("emit-mpeg-body", false, "emit the built-in MPEG-4 macroblock body model instead of reading -model")
+		iterate   = flag.Int("iterate", 8, "emit-mpeg-body: macroblocks per cycle")
+		budget    = flag.Int64("budget", 2_500_000, "emit-mpeg-body: end-of-cycle budget in cycles")
 	)
 	flag.Parse()
+	if *emitBody {
+		if err := emitBodyModel(*outDir, *stdout, *iterate, core.Cycles(*budget)); err != nil {
+			fmt.Fprintln(os.Stderr, "tablegen:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *modelPath == "" || (*outDir == "" && !*stdout) {
-		fmt.Fprintln(os.Stderr, "usage: tablegen -model <file> (-o <dir> | -stdout)")
+		fmt.Fprintln(os.Stderr, "usage: tablegen (-model <file> | -emit-mpeg-body) (-o <dir> | -stdout)")
 		os.Exit(2)
 	}
 	if err := run(*modelPath, *outDir, *stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "tablegen:", err)
 		os.Exit(1)
 	}
+}
+
+func emitBodyModel(outDir string, stdout bool, iterate int, budget core.Cycles) error {
+	if stdout || outDir == "" {
+		return mpeg.WriteBodyModel(os.Stdout, iterate, budget)
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(outDir, "mpeg_body.qos"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return mpeg.WriteBodyModel(f, iterate, budget)
 }
 
 func run(modelPath, outDir string, stdout bool) error {

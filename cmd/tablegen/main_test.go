@@ -58,3 +58,35 @@ func TestRunMissingModel(t *testing.T) {
 		t.Fatal("missing model accepted")
 	}
 }
+
+func TestEmitBodyModelMatchesFixture(t *testing.T) {
+	dir := t.TempDir()
+	if err := emitBodyModel(dir, false, 8, 2_500_000); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(filepath.Join(dir, "mpeg_body.qos"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"levels 0 7", "iterate 8", "deadline Reconstruct * 2500000"} {
+		if !strings.Contains(string(got), want) {
+			t.Errorf("emitted model missing %q", want)
+		}
+	}
+	fixture, err := os.ReadFile(filepath.Join("..", "..", "examples", "models", "mpeg_body.qos"))
+	if err != nil {
+		t.Fatalf("fixture unavailable: %v", err)
+	}
+	if string(got) != string(fixture) {
+		t.Error("examples/models/mpeg_body.qos out of date: regenerate with tablegen -emit-mpeg-body -o examples/models/")
+	}
+}
+
+func TestEmitBodyModelRejectsBadArgs(t *testing.T) {
+	if err := emitBodyModel(t.TempDir(), false, 0, 1); err == nil {
+		t.Error("iterate 0 accepted")
+	}
+	if err := emitBodyModel(t.TempDir(), false, 8, 0); err == nil {
+		t.Error("budget 0 accepted")
+	}
+}

@@ -1,0 +1,49 @@
+package qos
+
+import "repro/internal/core"
+
+// This file keeps the pre-SystemBuilder hand-wiring surface alive for
+// one release. Every name here has a direct replacement in the
+// builder/session/runtime API; see the migration table in README.md.
+
+// GraphBuilder accumulates actions and edges into a Graph.
+//
+// Deprecated: use SystemBuilder, which declares the graph and the time
+// tables in one place and validates them together.
+type GraphBuilder = core.GraphBuilder
+
+var (
+	// NewGraphBuilder returns an empty graph builder.
+	//
+	// Deprecated: use NewSystemBuilder.
+	NewGraphBuilder = core.NewGraphBuilder
+	// NewLevelRange returns the LevelSet {lo..hi}.
+	//
+	// Deprecated: use SystemBuilder.Levels.
+	NewLevelRange = core.NewLevelRange
+	// NewTimeFn returns a TimeFn of n actions initialised to v.
+	//
+	// Deprecated: only needed when hand-wiring families; SystemBuilder
+	// builds them from Time/TimeAll declarations.
+	NewTimeFn = core.NewTimeFn
+	// NewTimeFamily allocates a family over levels for n actions.
+	//
+	// Deprecated: use SystemBuilder.Time / TimeAll / Deadline, which
+	// build the families; still handy for Controller.Retarget.
+	NewTimeFamily = core.NewTimeFamily
+	// NewAssignment returns an assignment of n actions at level q.
+	//
+	// Deprecated: assignments are produced by sessions; construct one
+	// directly only in analysis code.
+	NewAssignment = core.NewAssignment
+	// NewSystem assembles and validates a parameterized system.
+	//
+	// Deprecated: use SystemBuilder.Build, whose validation errors
+	// name the offending action and level.
+	NewSystem = core.NewSystem
+	// NewController builds the QoS controller for a system.
+	//
+	// Deprecated: use NewSession (one stream) or NewRuntime (many
+	// streams over one shared Program).
+	NewController = core.NewController
+)

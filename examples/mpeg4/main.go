@@ -23,18 +23,15 @@ func main() {
 		log.Fatal(err)
 	}
 
-	controlled, err := qos.RunPipeline(qos.PipelineConfig{
-		Source: src, K: 1, Controlled: true, Seed: 1,
+	// The two variants are independent streams; run them concurrently.
+	results, err := qos.RunPipelineStreams([]qos.PipelineConfig{
+		{Source: src, K: 1, Controlled: true, Seed: 1},
+		{Source: src, K: 1, ConstQ: 3, Seed: 1},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	constant, err := qos.RunPipeline(qos.PipelineConfig{
-		Source: src, K: 1, ConstQ: 3, Seed: 1,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
+	controlled, constant := results[0], results[1]
 
 	fmt.Printf("%-4s %-5s | %-28s | %-28s\n", "seq", "load", "controlled K=1", "constant q=3 K=1")
 	fmt.Printf("%-4s %-5s | %-8s %-9s %-8s | %-8s %-9s %-8s\n",

@@ -1,8 +1,9 @@
-// Quickstart: build a three-action pipeline with two quality levels,
-// attach the QoS controller, and run a few cycles under random load.
-// This is the smallest complete use of the public API: model the
-// application, validate it, and let the controller pick quality levels
-// that never miss the cycle deadline while filling the time budget.
+// Quickstart: declare a three-action pipeline with two quality levels
+// in one SystemBuilder, open a Session, and run a few cycles under
+// random load. This is the smallest complete use of the public API:
+// model the application, validate it, and let the controller pick
+// quality levels that never miss the cycle deadline while filling the
+// time budget.
 package main
 
 import (
@@ -13,57 +14,37 @@ import (
 )
 
 func main() {
-	// The application: fetch -> process -> emit, once per cycle.
-	b := qos.NewGraphBuilder()
-	b.AddAction("fetch")
-	b.AddAction("process")
-	b.AddAction("emit")
-	b.AddEdge("fetch", "process")
-	b.AddEdge("process", "emit")
-	g, err := b.Build()
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	// Two quality levels. Only "process" depends on the level: the
-	// high-quality path averages 60 cycles (worst case 100), the low
-	// one 20 (worst case 30).
-	levels := qos.NewLevelRange(0, 1)
-	n := g.Len()
-	cav := qos.NewTimeFamily(levels, n, 0)
-	cwc := qos.NewTimeFamily(levels, n, 0)
-	d := qos.NewTimeFamily(levels, n, qos.Inf)
-
-	id := func(name string) qos.ActionID {
-		a, ok := g.Lookup(name)
-		if !ok {
-			log.Fatalf("unknown action %s", name)
-		}
-		return a
-	}
-	for _, q := range levels {
-		cav.Set(q, id("fetch"), 10)
-		cwc.Set(q, id("fetch"), 15)
-		cav.Set(q, id("emit"), 10)
-		cwc.Set(q, id("emit"), 12)
-	}
-	cav.Set(0, id("process"), 20)
-	cwc.Set(0, id("process"), 30)
-	cav.Set(1, id("process"), 60)
-	cwc.Set(1, id("process"), 100)
-	// One hard deadline: the cycle must finish within 124 cycles. The
+	// The application: fetch -> process -> emit, once per cycle. Only
+	// "process" depends on the level: the high-quality path averages
+	// 60 cycles (worst case 100), the low one 20 (worst case 30). One
+	// hard deadline: the cycle must finish within 124 cycles. The
 	// high-quality process (worst case 100) plus emit (worst case 12)
 	// leaves 12 cycles of margin: q1 is admitted only after fast
 	// fetches, so runs mix both levels.
-	for _, q := range levels {
-		d.Set(q, id("emit"), 124)
+	sys, err := qos.NewSystemBuilder().
+		Levels(0, 1).
+		Actions("fetch", "process", "emit").
+		Chain("fetch", "process", "emit").
+		TimeAll("fetch", 10, 15).
+		Time("process", 0, 20, 30).
+		Time("process", 1, 60, 100).
+		TimeAll("emit", 10, 12).
+		DeadlineAll("emit", 124).
+		Build()
+	if err != nil {
+		log.Fatal(err) // names the offending action and level
 	}
 
-	sys, err := qos.NewSystem(g, levels, cav, cwc, d)
-	if err != nil {
-		log.Fatal(err)
-	}
-	ctrl, err := qos.NewController(sys)
+	// One stream, one session. An observer watches the controller
+	// degrade quality when a slow fetch would make q1 unsafe.
+	var lowDecisions int
+	s, err := qos.NewSession(sys, qos.WithObserver(qos.FuncObserver{
+		Decision: func(d qos.Decision) {
+			if d.Level == 0 {
+				lowDecisions++
+			}
+		},
+	}))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -71,9 +52,10 @@ func main() {
 	// Simulated execution: actual times land between average and worst
 	// case, drawn from a deterministic generator.
 	rng := qos.NewRNG(42)
+	g := sys.Graph
 	for cycle := 0; cycle < 5; cycle++ {
-		ctrl.Reset()
-		res, err := ctrl.RunCycle(func(a qos.ActionID, q qos.Level) qos.Cycles {
+		s.Reset()
+		res, err := s.RunFunc(func(a qos.ActionID, q qos.Level) qos.Cycles {
 			av := sys.Cav.At(q, a)
 			wc := sys.Cwc.At(q, a)
 			return av + qos.Cycles(rng.Float64()*float64(wc-av))
@@ -90,6 +72,6 @@ func main() {
 		}
 		fmt.Printf("  misses=%d\n", res.Misses)
 	}
-	fmt.Println("\nthe controller holds q1 while the budget allows and degrades")
-	fmt.Println("process to q0 whenever a slow fetch would make q1 unsafe.")
+	fmt.Printf("\n%d decisions ran at q0: the controller holds q1 while the\n", lowDecisions)
+	fmt.Println("budget allows and degrades process whenever q1 would be unsafe.")
 }

@@ -6,52 +6,51 @@
 // fading channel that changes the workload burstiness. The quality
 // level selects the equaliser depth / decoder iterations: better link
 // margin when time permits, guaranteed slot deadline always.
+//
+// A base station serves many links at once, so this example runs eight
+// concurrent links through one shared qos.Runtime: the schedule and
+// constraint tables are precomputed once, each link acquires a cheap
+// per-stream Session, and every slot deadline holds on every link.
 package main
 
 import (
 	"fmt"
 	"log"
+	"sync"
 
 	qos "repro"
 )
 
-const slotBudget = 100_000 // cycles per receive slot
+const (
+	slotBudget = 100_000 // cycles per receive slot
+	links      = 8       // concurrent links served by one runtime
+	slots      = 5000    // receive slots per link
+)
 
 func buildSystem() (*qos.System, error) {
-	b := qos.NewGraphBuilder()
-	actions := []string{"synchronise", "channel_estimate", "equalise", "demodulate", "decode"}
-	for _, a := range actions {
-		b.AddAction(a)
-	}
-	for i := 0; i+1 < len(actions); i++ {
-		b.AddEdge(actions[i], actions[i+1])
-	}
-	g, err := b.Build()
-	if err != nil {
-		return nil, err
-	}
-	levels := qos.NewLevelRange(0, 4)
-	n := g.Len()
-	cav := qos.NewTimeFamily(levels, n, 0)
-	cwc := qos.NewTimeFamily(levels, n, 0)
-	d := qos.NewTimeFamily(levels, n, qos.Inf)
-	id := func(s string) qos.ActionID { a, _ := g.Lookup(s); return a }
-	for qi, q := range levels {
-		scale := qos.Cycles(qi + 1)
-		cav.Set(q, id("synchronise"), 4_000)
-		cwc.Set(q, id("synchronise"), 7_000)
-		cav.Set(q, id("channel_estimate"), 6_000)
-		cwc.Set(q, id("channel_estimate"), 11_000)
-		cav.Set(q, id("equalise"), 5_000*scale)
-		cwc.Set(q, id("equalise"), 9_000*scale)
-		cav.Set(q, id("demodulate"), 3_000)
-		cwc.Set(q, id("demodulate"), 5_000)
-		cav.Set(q, id("decode"), 6_000*scale)
-		cwc.Set(q, id("decode"), 12_000*scale)
+	b := qos.NewSystemBuilder().
+		Levels(0, 4).
+		Actions("synchronise", "channel_estimate", "equalise", "demodulate", "decode").
+		Chain("synchronise", "channel_estimate", "equalise", "demodulate", "decode").
+		TimeAll("synchronise", 4_000, 7_000).
+		TimeAll("channel_estimate", 6_000, 11_000).
+		TimeAll("demodulate", 3_000, 5_000).
 		// The whole slot is a hard deadline on the final action.
-		d.Set(q, id("decode"), slotBudget)
+		DeadlineAll("decode", slotBudget)
+	// The equaliser depth and decoder iterations scale with the level.
+	for qi := 0; qi <= 4; qi++ {
+		scale := qos.Cycles(qi + 1)
+		b.Time("equalise", qos.Level(qi), 5_000*scale, 9_000*scale)
+		b.Time("decode", qos.Level(qi), 6_000*scale, 12_000*scale)
 	}
-	return qos.NewSystem(g, levels, cav, cwc, d)
+	return b.Build()
+}
+
+// linkStats aggregates one link's slots.
+type linkStats struct {
+	misses, fallbacks int
+	qSum, utilSum     float64
+	levelHist         map[qos.Level]int
 }
 
 func main() {
@@ -59,47 +58,69 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	ctrl, err := qos.NewController(sys) // hard mode: slot deadline is law
+	// Hard mode (the default): the slot deadline is law on every link.
+	rt, err := qos.NewRuntime(sys)
 	if err != nil {
 		log.Fatal(err)
 	}
-	rng := qos.NewRNG(99)
-	const slots = 5000
-	var misses, fallbacks int
-	var qSum, utilSum float64
-	levelHist := map[qos.Level]int{}
-	for s := 0; s < slots; s++ {
-		// Fading: deep fades (every ~40 slots) push every stage toward
-		// its worst case.
-		fade := 0.25
-		if s%40 < 3 {
-			fade = 0.95
-		}
-		ctrl.Reset()
-		res, err := ctrl.RunCycle(func(a qos.ActionID, q qos.Level) qos.Cycles {
-			av := sys.Cav.At(q, a)
-			wc := sys.Cwc.At(q, a)
-			f := fade * (0.6 + 0.4*rng.Float64())
-			return av + qos.Cycles(f*float64(wc-av))
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		misses += res.Misses
-		fallbacks += res.Fallbacks
-		qSum += res.MeanLevel()
-		utilSum += float64(res.Elapsed) / float64(slotBudget)
-		for _, st := range res.Trace {
-			levelHist[st.Level]++
-		}
+
+	stats := make([]linkStats, links)
+	var wg sync.WaitGroup
+	for l := 0; l < links; l++ {
+		wg.Add(1)
+		go func(l int) {
+			defer wg.Done()
+			st := &stats[l]
+			st.levelHist = map[qos.Level]int{}
+			rng := qos.NewRNG(99 + uint64(l))
+			s := rt.Acquire(qos.FuncObserver{
+				Decision: func(d qos.Decision) { st.levelHist[d.Level]++ },
+			})
+			defer rt.Release(s)
+			for slot := 0; slot < slots; slot++ {
+				// Fading: deep fades (every ~40 slots, offset per link)
+				// push every stage toward its worst case.
+				fade := 0.25
+				if (slot+5*l)%40 < 3 {
+					fade = 0.95
+				}
+				s.Reset()
+				res, err := s.RunFunc(func(a qos.ActionID, q qos.Level) qos.Cycles {
+					av := sys.Cav.At(q, a)
+					wc := sys.Cwc.At(q, a)
+					f := fade * (0.6 + 0.4*rng.Float64())
+					return av + qos.Cycles(f*float64(wc-av))
+				})
+				if err != nil {
+					log.Fatal(err)
+				}
+				st.misses += res.Misses
+				st.fallbacks += res.Fallbacks
+				st.qSum += res.MeanLevel()
+				st.utilSum += float64(res.Elapsed) / float64(slotBudget)
+			}
+		}(l)
 	}
-	fmt.Printf("radio link, %d slots, %d-cycle hard slot deadline\n\n", slots, slotBudget)
-	fmt.Printf("deadline misses:   %d (hard guarantee)\n", misses)
-	fmt.Printf("contract breaches: %d\n", fallbacks)
-	fmt.Printf("mean quality:      %.2f of %d\n", qSum/slots, sys.QMax())
-	fmt.Printf("slot utilisation:  %.1f%%\n", 100*utilSum/slots)
-	fmt.Println("\nper-level action counts (adaptation to fading):")
+	wg.Wait()
+
+	fmt.Printf("radio link: %d concurrent links x %d slots, %d-cycle hard slot deadline\n",
+		links, slots, slotBudget)
+	fmt.Printf("one shared runtime: tables precomputed once, sessions pooled\n\n")
+	fmt.Printf("%-5s %-8s %-10s %-8s %-12s\n", "link", "misses", "breaches", "mean-q", "utilisation")
+	var missTotal int
+	for l, st := range stats {
+		missTotal += st.misses
+		fmt.Printf("%-5d %-8d %-10d %-8.2f %10.1f%%\n",
+			l, st.misses, st.fallbacks, st.qSum/slots, 100*st.utilSum/slots)
+	}
+	agg := rt.Stats()
+	fmt.Printf("\nruntime totals: %d slots served, %d actions, %d misses\n",
+		agg.Cycles, agg.Actions, agg.Misses)
+	if missTotal == 0 {
+		fmt.Println("hard guarantee held on every link while quality tracked the fading.")
+	}
+	fmt.Println("\nper-level action counts, link 0 (adaptation to fading):")
 	for _, q := range sys.Levels {
-		fmt.Printf("  q%d: %d\n", q, levelHist[q])
+		fmt.Printf("  q%d: %d\n", q, stats[0].levelHist[q])
 	}
 }

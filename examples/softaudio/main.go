@@ -18,50 +18,33 @@ import (
 const blockBudget = 5200 // cycles per audio block
 
 func buildSystem() (*qos.System, error) {
-	b := qos.NewGraphBuilder()
-	for _, a := range []string{"capture", "denoise", "equalise", "encode"} {
-		b.AddAction(a)
-	}
-	b.AddEdge("capture", "denoise")
-	b.AddEdge("denoise", "equalise")
-	b.AddEdge("equalise", "encode")
-	g, err := b.Build()
-	if err != nil {
-		return nil, err
-	}
-	levels := qos.NewLevelRange(0, 3)
-	n := g.Len()
-	cav := qos.NewTimeFamily(levels, n, 0)
-	cwc := qos.NewTimeFamily(levels, n, 0)
-	d := qos.NewTimeFamily(levels, n, qos.Inf)
-	id := func(s string) qos.ActionID { a, _ := g.Lookup(s); return a }
-	// capture and encode are fixed cost; the two filters scale with the
-	// level (filter order doubles per level).
-	for _, q := range levels {
-		cav.Set(q, id("capture"), 300)
-		cwc.Set(q, id("capture"), 500)
-		cav.Set(q, id("encode"), 400)
-		cwc.Set(q, id("encode"), 700)
+	b := qos.NewSystemBuilder().
+		Levels(0, 3).
+		Actions("capture", "denoise", "equalise", "encode").
+		Chain("capture", "denoise", "equalise", "encode").
+		// capture and encode are fixed cost; the two filters scale
+		// with the level (filter order doubles per level).
+		TimeAll("capture", 300, 500).
+		TimeAll("encode", 400, 700).
+		DeadlineAll("encode", blockBudget)
+	for q := qos.Level(0); q <= 3; q++ {
 		fl := qos.Cycles(1 << uint(q)) // 1,2,4,8
-		cav.Set(q, id("denoise"), 250*fl)
-		cwc.Set(q, id("denoise"), 450*fl)
-		cav.Set(q, id("equalise"), 200*fl)
-		cwc.Set(q, id("equalise"), 350*fl)
-		d.Set(q, id("encode"), blockBudget)
+		b.Time("denoise", q, 250*fl, 450*fl)
+		b.Time("equalise", q, 200*fl, 350*fl)
 	}
-	return qos.NewSystem(g, levels, cav, cwc, d)
+	return b.Build()
 }
 
 func run(mode qos.Mode, sys *qos.System, blocks int) (misses int, meanQ float64) {
-	ctrl, err := qos.NewController(sys, qos.WithMode(mode))
+	s, err := qos.NewSession(sys, qos.WithControllerOptions(qos.WithMode(mode)))
 	if err != nil {
 		log.Fatal(err)
 	}
 	rng := qos.NewRNG(7)
 	var qSum float64
 	for i := 0; i < blocks; i++ {
-		ctrl.Reset()
-		res, err := ctrl.RunCycle(func(a qos.ActionID, q qos.Level) qos.Cycles {
+		s.Reset()
+		res, err := s.RunFunc(func(a qos.ActionID, q qos.Level) qos.Cycles {
 			av := sys.Cav.At(q, a)
 			wc := sys.Cwc.At(q, a)
 			// Every 8th block runs hot, towards the worst case; the

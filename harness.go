@@ -1,0 +1,62 @@
+package qos
+
+import (
+	"repro/internal/mpeg"
+	"repro/internal/pipeline"
+	"repro/internal/sched"
+	"repro/internal/video"
+)
+
+// Benchmark-harness types: the MPEG-4 case study of the paper's
+// evaluation (section 3).
+type (
+	// VideoConfig parameterises the synthetic camera stream.
+	VideoConfig = video.Config
+	// VideoSource generates the benchmark frames.
+	VideoSource = video.Source
+	// Frame is one synthetic frame.
+	Frame = video.Frame
+	// MPEGEncoder is the controlled or constant-quality encoder model.
+	MPEGEncoder = mpeg.Encoder
+	// PipelineConfig selects the encoder and pipeline parameters.
+	PipelineConfig = pipeline.Config
+	// PipelineResult is a full benchmark run.
+	PipelineResult = pipeline.Result
+	// FrameRecord is the per-frame outcome of a pipeline run.
+	FrameRecord = pipeline.FrameRecord
+	// FramePolicy is a coarse-grain per-frame adaptation policy.
+	FramePolicy = sched.Policy
+	// EncoderOption configures the controlled MPEG encoder.
+	EncoderOption = mpeg.ControlledOption
+)
+
+var (
+	// DefaultVideoConfig is the paper's 582-frame benchmark shape.
+	DefaultVideoConfig = video.DefaultConfig
+	// NewVideoSource validates a config and builds the stream.
+	NewVideoSource = video.NewSource
+	// NewControlledEncoder builds the fine-grain controlled encoder.
+	NewControlledEncoder = mpeg.NewControlled
+	// NewConstantEncoder builds the constant-quality baseline.
+	NewConstantEncoder = mpeg.NewConstant
+	// RunPipeline simulates the camera/buffer/encoder pipeline.
+	RunPipeline = pipeline.Run
+	// RunPipelineStreams simulates several pipelines concurrently, one
+	// goroutine per stream.
+	RunPipelineStreams = pipeline.RunStreams
+	// MPEGBodyGraph returns the figure 2 macroblock graph.
+	MPEGBodyGraph = mpeg.BodyGraph
+	// MPEGLevels returns the quality level set {0..7}.
+	MPEGLevels = mpeg.Levels
+	// WriteMPEGBodyModel emits the macroblock body as a ".qos" model.
+	WriteMPEGBodyModel = mpeg.WriteBodyModel
+	// WithEncoderLearning enables online average-time learning in the
+	// controlled encoder (EWMA on observed action costs).
+	WithEncoderLearning = mpeg.WithLearning
+	// WithEncoderControllerOptions forwards controller options to the
+	// controlled encoder (mode, smoothness, ...).
+	WithEncoderControllerOptions = mpeg.WithControllerOptions
+	// WithEncoderPerMacroblockDeadlines enables the per-macroblock
+	// proportional deadline variant.
+	WithEncoderPerMacroblockDeadlines = mpeg.WithPerMacroblockDeadlines
+)

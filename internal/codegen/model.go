@@ -22,6 +22,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -156,6 +157,58 @@ func parseCycles(s string) (core.Cycles, error) {
 		return 0, fmt.Errorf("bad cycles %q", s)
 	}
 	return core.Cycles(v), nil
+}
+
+// TimeEntry is one time directive of a parsed model. Level is
+// WildcardLevel for a "*" directive that applies to every level.
+type TimeEntry struct {
+	Action string
+	Level  core.Level
+	Av, Wc core.Cycles
+}
+
+// DeadlineEntry is one deadline directive of a parsed model. Level is
+// WildcardLevel for a "*" directive.
+type DeadlineEntry struct {
+	Action   string
+	Level    core.Level
+	Deadline core.Cycles
+}
+
+// WildcardLevel marks a directive that applies to all quality levels.
+const WildcardLevel core.Level = -1
+
+// Times returns the model's time directives in deterministic
+// (action, level) order, for consumers that rebuild the model in
+// another representation (e.g. the public SystemBuilder).
+func (m *Model) Times() []TimeEntry {
+	out := make([]TimeEntry, 0, len(m.times))
+	for k, v := range m.times {
+		out = append(out, TimeEntry{Action: k.action, Level: k.level, Av: v[0], Wc: v[1]})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Action != out[j].Action {
+			return out[i].Action < out[j].Action
+		}
+		return out[i].Level < out[j].Level
+	})
+	return out
+}
+
+// Deadlines returns the model's deadline directives in deterministic
+// (action, level) order.
+func (m *Model) Deadlines() []DeadlineEntry {
+	out := make([]DeadlineEntry, 0, len(m.deadlines))
+	for k, v := range m.deadlines {
+		out = append(out, DeadlineEntry{Action: k.action, Level: k.level, Deadline: v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Action != out[j].Action {
+			return out[i].Action < out[j].Action
+		}
+		return out[i].Level < out[j].Level
+	})
+	return out
 }
 
 // lookupTime resolves the (action, level) time with the "*" fallback.

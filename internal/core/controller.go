@@ -28,26 +28,27 @@ func (m Mode) String() string {
 	}
 }
 
-// Option configures a Controller.
-type Option func(*Controller)
+// Option configures a Program (and hence every Controller derived from
+// it).
+type Option func(*Program)
 
 // WithMode selects hard (default) or soft constraint mode.
-func WithMode(m Mode) Option { return func(c *Controller) { c.mode = m } }
+func WithMode(m Mode) Option { return func(p *Program) { p.mode = m } }
 
 // WithMaxStep bounds the upward variation of quality between consecutive
 // decisions to k levels (smoothness; downward moves stay unrestricted so
 // safety is never compromised). k <= 0 means unbounded.
-func WithMaxStep(k int) Option { return func(c *Controller) { c.maxStep = k } }
+func WithMaxStep(k int) Option { return func(p *Program) { p.maxStep = k } }
 
 // WithTables forces (true) or forbids (false) the precomputed-table fast
 // path. By default tables are used when the system has quality-
 // independent deadline order.
-func WithTables(use bool) Option { return func(c *Controller) { c.forceTables = boolPtr(use) } }
+func WithTables(use bool) Option { return func(p *Program) { p.forceTables = boolPtr(use) } }
 
 // WithSchedule fixes the schedule order instead of the EDF order computed
 // at qmin. The sequence must be a schedule of the system's graph.
 func WithSchedule(alpha []ActionID) Option {
-	return func(c *Controller) { c.fixedAlpha = append([]ActionID(nil), alpha...) }
+	return func(p *Program) { p.fixedAlpha = append([]ActionID(nil), alpha...) }
 }
 
 // WithEvaluator installs a custom admissibility evaluator (e.g.
@@ -55,9 +56,9 @@ func WithSchedule(alpha []ActionID) Option {
 // The caller owns re-targeting the evaluator between cycles; Retarget is
 // unavailable in this configuration.
 func WithEvaluator(ev Evaluator, order []ActionID) Option {
-	return func(c *Controller) {
-		c.eval = ev
-		c.fixedAlpha = append([]ActionID(nil), order...)
+	return func(p *Program) {
+		p.eval = ev
+		p.fixedAlpha = append([]ActionID(nil), order...)
 	}
 }
 
@@ -73,13 +74,18 @@ type Decision struct {
 	Fallback bool
 }
 
-// Controller incrementally computes a schedule α and quality assignment θ
-// for one cycle, per the abstract control algorithm of section 2.2. Use
-// Next to obtain the decision for the coming action and Completed to
-// report its observed completion time; repeat until Done.
+// Program is the immutable, precomputed part of a controller: the
+// validated system, the control configuration, the schedule order at
+// qmin and the precomputed constraint tables. A Program is built once
+// (NewProgram) and can then instantiate any number of Controllers, each
+// carrying only the cheap per-cycle mutable state — this is what lets
+// one system serve many concurrent streams: the expensive state is
+// shared, the per-stream state is per Controller.
 //
-// A Controller is not safe for concurrent use.
-type Controller struct {
+// A Program is safe for concurrent use by any number of Controllers as
+// long as its evaluator is not re-targeted (Tables never is;
+// IterativeTables.SetBudget must not race with decisions).
+type Program struct {
 	sys     *System
 	mode    Mode
 	maxStep int
@@ -90,6 +96,92 @@ type Controller struct {
 	useTables bool
 	eval      Evaluator
 
+	alpha []ActionID // schedule order at qmin; never mutated after build
+}
+
+// NewProgram validates the system against the control configuration and
+// precomputes the schedule and constraint tables. In Hard mode the
+// system must be schedulable at minimal quality under worst-case times
+// (the problem's precondition); otherwise an error is returned.
+func NewProgram(sys *System, opts ...Option) (*Program, error) {
+	p := &Program{sys: sys, maxStep: 0}
+	for _, opt := range opts {
+		opt(p)
+	}
+	if p.mode == Hard && !sys.FeasibleAtQmin() {
+		return nil, errors.New("core: no feasible schedule at qmin under worst-case times; hard control is impossible")
+	}
+	if p.fixedAlpha != nil {
+		if !sys.Graph.IsSchedule(p.fixedAlpha) {
+			return nil, errors.New("core: WithSchedule sequence is not a schedule of the graph")
+		}
+		p.alpha = p.fixedAlpha
+	} else {
+		p.alpha = EDFSchedule(sys.Graph, sys.Cwc.AtIndex(0), sys.D.AtIndex(0))
+	}
+	if p.eval != nil {
+		// A custom evaluator (e.g. IterativeTables) implies the table
+		// fast path along the supplied order.
+		p.useTables = true
+	} else {
+		uniform := sys.UniformDeadlines()
+		p.useTables = uniform
+		if p.forceTables != nil {
+			if *p.forceTables && !uniform {
+				return nil, errors.New("core: tables requested but deadline order depends on quality")
+			}
+			p.useTables = *p.forceTables
+		}
+		if p.useTables {
+			p.eval = NewTables(sys, p.alpha)
+		}
+	}
+	return p, nil
+}
+
+// System returns the program's validated system.
+func (p *Program) System() *System { return p.sys }
+
+// Mode returns the constraint mode the program enforces.
+func (p *Program) Mode() Mode { return p.mode }
+
+// UsesTables reports whether decisions run on the precomputed-table fast
+// path.
+func (p *Program) UsesTables() bool { return p.useTables }
+
+// Evaluator returns the admissibility evaluator (nil on the direct
+// path).
+func (p *Program) Evaluator() Evaluator { return p.eval }
+
+// Schedule returns a copy of the precomputed schedule order.
+func (p *Program) Schedule() []ActionID { return append([]ActionID(nil), p.alpha...) }
+
+// NewController instantiates the per-stream mutable state over the
+// shared precomputed program. The allocation is O(|A|); everything
+// expensive (validation, EDF schedule, tables) is shared.
+func (p *Program) NewController() *Controller {
+	c := &Controller{prog: p}
+	c.theta = NewAssignment(p.sys.Graph.Len(), p.sys.QMin())
+	c.resetOver(p)
+	return c
+}
+
+// Controller incrementally computes a schedule α and quality assignment θ
+// for one cycle, per the abstract control algorithm of section 2.2. Use
+// Next to obtain the decision for the coming action and Completed to
+// report its observed completion time; repeat until Done.
+//
+// A Controller is the cheap, per-stream half of the Program/Controller
+// split: it holds only the cycle's mutable state and reads everything
+// else from its Program. A single Controller is not safe for concurrent
+// use, but any number of Controllers over one Program may run in
+// parallel.
+type Controller struct {
+	prog *Program
+
+	// alpha aliases prog.alpha on the table path (where the order is
+	// fixed and read-only) and is a private working copy on the direct
+	// path (where Best_Sched re-derives the suffix per decision).
 	alpha []ActionID
 	theta Assignment // committed levels for executed positions
 	tail  Level      // implicit level of all unexecuted positions
@@ -108,89 +200,91 @@ type ControllerStats struct {
 	CandidateEval int   // quality-constraint evaluations performed
 }
 
-// NewController builds a controller for the system. In Hard mode the
-// system must be schedulable at minimal quality under worst-case times
-// (the problem's precondition); otherwise an error is returned.
+// NewController builds a stand-alone controller: a fresh Program plus
+// one instance over it. To serve several streams from one precomputed
+// state, build the Program once and call Program.NewController per
+// stream instead.
 func NewController(sys *System, opts ...Option) (*Controller, error) {
-	c := &Controller{sys: sys, maxStep: 0, last: -1}
-	for _, opt := range opts {
-		opt(c)
+	p, err := NewProgram(sys, opts...)
+	if err != nil {
+		return nil, err
 	}
-	if c.mode == Hard && !sys.FeasibleAtQmin() {
-		return nil, errors.New("core: no feasible schedule at qmin under worst-case times; hard control is impossible")
-	}
-	if c.fixedAlpha != nil {
-		if !sys.Graph.IsSchedule(c.fixedAlpha) {
-			return nil, errors.New("core: WithSchedule sequence is not a schedule of the graph")
-		}
-		c.alpha = c.fixedAlpha
+	return p.NewController(), nil
+}
+
+// Program returns the shared precomputed state this controller runs
+// over.
+func (c *Controller) Program() *Program { return c.prog }
+
+// System returns the controlled system.
+func (c *Controller) System() *System { return c.prog.sys }
+
+// resetOver (re)initialises the mutable state for a fresh cycle over
+// program p.
+func (c *Controller) resetOver(p *Program) {
+	if p.useTables {
+		c.alpha = p.alpha
 	} else {
-		c.alpha = EDFSchedule(sys.Graph, sys.Cwc.AtIndex(0), sys.D.AtIndex(0))
-	}
-	if c.eval != nil {
-		// A custom evaluator (e.g. IterativeTables) implies the table
-		// fast path along the supplied order.
-		c.useTables = true
-	} else {
-		uniform := sys.UniformDeadlines()
-		c.useTables = uniform
-		if c.forceTables != nil {
-			if *c.forceTables && !uniform {
-				return nil, errors.New("core: tables requested but deadline order depends on quality")
-			}
-			c.useTables = *c.forceTables
-		}
-		if c.useTables {
-			c.eval = NewTables(sys, c.alpha)
+		// The direct path permutes the suffix in place (Best_Sched);
+		// restore the baseline order so reused instances are
+		// indistinguishable from fresh ones.
+		if len(c.alpha) != len(p.alpha) || &c.alpha[0] == &p.alpha[0] {
+			c.alpha = append([]ActionID(nil), p.alpha...)
+		} else {
+			copy(c.alpha, p.alpha)
 		}
 	}
-	c.theta = NewAssignment(sys.Graph.Len(), sys.QMin())
-	c.tail = sys.QMin()
-	return c, nil
+	for j := range c.theta {
+		c.theta[j] = p.sys.QMin()
+	}
+	c.tail = p.sys.QMin()
+	c.i = 0
+	c.t = 0
+	c.last = -1
+	c.stats = ControllerStats{}
 }
 
 // Reset prepares the controller for a new cycle, keeping configuration
 // and precomputed tables.
-func (c *Controller) Reset() {
-	c.i = 0
-	c.t = 0
-	c.last = -1
-	for j := range c.theta {
-		c.theta[j] = c.sys.QMin()
-	}
-	c.tail = c.sys.QMin()
-	c.stats = ControllerStats{}
-}
+func (c *Controller) Reset() { c.resetOver(c.prog) }
 
 // Retarget replaces the system's deadline family (e.g. when the cycle's
 // time budget changes between frames) and rebuilds the precomputed
 // tables. The schedule order is recomputed at qmin. The controller must
 // be at a cycle boundary (Reset or Done).
+//
+// Retarget builds a fresh private Program for this controller; other
+// controllers sharing the previous Program are unaffected. The new
+// program goes through NewProgram, so every construction-time check
+// applies; WithTables pins the previous evaluation path (a retarget
+// that makes tables impossible is an error, not a silent downgrade to
+// direct evaluation).
 func (c *Controller) Retarget(d *TimeFamily) error {
 	if c.i != 0 && !c.Done() {
 		return errors.New("core: Retarget mid-cycle")
 	}
-	if _, ok := c.eval.(*Tables); c.eval != nil && !ok {
+	if _, ok := c.prog.eval.(*Tables); c.prog.eval != nil && !ok {
 		return errors.New("core: Retarget with a custom evaluator; re-target the evaluator instead")
 	}
-	sys := *c.sys
+	sys := *c.prog.sys
 	sys.D = d
 	if err := sys.Validate(); err != nil {
 		return err
 	}
-	if c.mode == Hard && !sys.FeasibleAtQmin() {
-		return errors.New("core: retargeted deadlines are infeasible at qmin under worst-case times")
+	opts := []Option{
+		WithMode(c.prog.mode),
+		WithMaxStep(c.prog.maxStep),
+		WithTables(c.prog.useTables),
 	}
-	c.sys = &sys
-	if c.fixedAlpha == nil {
-		c.alpha = EDFSchedule(sys.Graph, sys.Cwc.AtIndex(0), sys.D.AtIndex(0))
+	if c.prog.fixedAlpha != nil {
+		opts = append(opts, WithSchedule(c.prog.fixedAlpha))
 	}
-	if c.useTables {
-		if !sys.UniformDeadlines() {
-			return errors.New("core: retargeted deadline order depends on quality; tables impossible")
-		}
-		c.eval = NewTables(&sys, c.alpha)
+	p, err := NewProgram(&sys, opts...)
+	if err != nil {
+		return fmt.Errorf("core: Retarget: %w", err)
 	}
+	c.prog = p
+	c.resetOver(p)
 	return nil
 }
 
@@ -230,15 +324,15 @@ func (c *Controller) Next() (Decision, error) {
 		return Decision{}, errors.New("core: cycle complete; Reset before reuse")
 	}
 	c.stats.Decisions++
-	levels := c.sys.Levels
+	levels := c.prog.sys.Levels
 	hi := len(levels) - 1
-	if c.maxStep > 0 && c.last >= 0 {
-		if lim := levels.Index(c.last) + c.maxStep; lim < hi {
+	if c.prog.maxStep > 0 && c.last >= 0 {
+		if lim := levels.Index(c.last) + c.prog.maxStep; lim < hi {
 			hi = lim
 		}
 	}
 	chosen := -1
-	if c.useTables {
+	if c.prog.useTables {
 		for qi := hi; qi >= 0; qi-- {
 			c.stats.CandidateEval++
 			if c.allowedTables(qi) {
@@ -282,22 +376,23 @@ func (c *Controller) Next() (Decision, error) {
 }
 
 func (c *Controller) allowedTables(qi int) bool {
-	if c.mode == Soft {
-		return c.eval.AllowedAv(qi, c.i, c.t)
+	if c.prog.mode == Soft {
+		return c.prog.eval.AllowedAv(qi, c.i, c.t)
 	}
-	return Allowed(c.eval, qi, c.i, c.t)
+	return Allowed(c.prog.eval, qi, c.i, c.t)
 }
 
 func (c *Controller) allowedDirect(qi int) bool {
-	q := c.sys.Levels[qi]
+	s := c.prog.sys
+	q := s.Levels[qi]
 	thetaQ := c.theta.OverrideFrom(c.alpha, c.i, q)
-	alphaQ := BestSched(c.sys, c.alpha, thetaQ, c.i)
+	alphaQ := BestSched(s, c.alpha, thetaQ, c.i)
 	var ok bool
-	if c.mode == Soft {
-		ok = QualConstAv(c.sys, alphaQ, thetaQ, c.t, c.i)
+	if c.prog.mode == Soft {
+		ok = QualConstAv(s, alphaQ, thetaQ, c.t, c.i)
 	} else {
-		ok = QualConstAv(c.sys, alphaQ, thetaQ, c.t, c.i) &&
-			QualConstWc(c.sys, alphaQ, thetaQ, c.t, c.i)
+		ok = QualConstAv(s, alphaQ, thetaQ, c.t, c.i) &&
+			QualConstWc(s, alphaQ, thetaQ, c.t, c.i)
 	}
 	if ok {
 		copy(c.alpha[c.i:], alphaQ[c.i:])
@@ -316,35 +411,59 @@ func (c *Controller) Completed(actual Cycles) {
 	c.i++
 }
 
-// RunCycle drives a full cycle against exec, which runs one action at a
-// quality and returns the actual cycles consumed. It returns the realised
-// schedule, assignment, total elapsed time and whether any deadline was
-// missed (checked against D_θ).
-func (c *Controller) RunCycle(exec func(ActionID, Level) Cycles) (CycleResult, error) {
+// CycleDriver is the decision-loop surface RunCycleWith drives: a
+// Controller, or any wrapper (e.g. a session with observer hooks) that
+// forwards to one.
+type CycleDriver interface {
+	Done() bool
+	Next() (Decision, error)
+	Completed(Cycles)
+	Elapsed() Cycles
+	Position() int
+	Assignment() Assignment
+	Schedule() []ActionID
+	Stats() ControllerStats
+	System() *System
+}
+
+// RunCycleWith drives d through a full cycle against exec, which runs
+// one action at a quality and returns the actual cycles consumed. It
+// returns the realised schedule, assignment, total elapsed time and
+// whether any deadline was missed (checked against D_θ). This is the
+// one copy of the per-cycle accounting, shared by Controller.RunCycle
+// and the session layer.
+func RunCycleWith(c CycleDriver, exec func(ActionID, Level) Cycles) (CycleResult, error) {
 	res := CycleResult{}
+	sys := c.System()
+	res.Trace = make([]StepTrace, 0, sys.Graph.Len()-c.Position())
 	for !c.Done() {
 		d, err := c.Next()
 		if err != nil {
 			return res, err
 		}
 		actual := exec(d.Action, d.Level)
-		deadline := c.sys.D.At(d.Level, d.Action)
+		deadline := sys.D.At(d.Level, d.Action)
 		c.Completed(actual)
-		if !deadline.IsInf() && c.t > deadline {
+		if !deadline.IsInf() && c.Elapsed() > deadline {
 			res.Misses++
 		}
 		if d.Fallback {
 			res.Fallbacks++
 		}
 		res.Trace = append(res.Trace, StepTrace{
-			Action: d.Action, Level: d.Level, Actual: actual, Finish: c.t,
+			Action: d.Action, Level: d.Level, Actual: actual, Finish: c.Elapsed(),
 		})
 	}
-	res.Elapsed = c.t
+	res.Elapsed = c.Elapsed()
 	res.Assignment = c.Assignment()
 	res.Schedule = c.Schedule()
-	res.Stats = c.stats
+	res.Stats = c.Stats()
 	return res, nil
+}
+
+// RunCycle drives a full cycle against exec; see RunCycleWith.
+func (c *Controller) RunCycle(exec func(ActionID, Level) Cycles) (CycleResult, error) {
+	return RunCycleWith(c, exec)
 }
 
 // StepTrace records one executed action.

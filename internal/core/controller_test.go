@@ -349,7 +349,7 @@ func TestWithTablesRejectsNonUniform(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if c.useTables {
+	if c.prog.useTables {
 		t.Fatal("controller chose tables for non-uniform deadline order")
 	}
 }

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestProgramSharedControllers drives several controllers instantiated
+// from one Program concurrently and checks each behaves exactly like a
+// stand-alone controller over the same system.
+func TestProgramSharedControllers(t *testing.T) {
+	sys := tinySystem(t)
+	prog, err := NewProgram(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prog.UsesTables() {
+		t.Fatal("tiny system should take the table fast path")
+	}
+	// Reference: a stand-alone controller at worst-case load.
+	ref, err := NewController(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.RunCycle(func(a ActionID, q Level) Cycles { return sys.Cwc.At(q, a) })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const streams = 8
+	var wg sync.WaitGroup
+	results := make([]CycleResult, streams)
+	errs := make([]error, streams)
+	for s := 0; s < streams; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			c := prog.NewController()
+			for cycle := 0; cycle < 50; cycle++ {
+				c.Reset()
+				res, err := c.RunCycle(func(a ActionID, q Level) Cycles { return sys.Cwc.At(q, a) })
+				if err != nil {
+					errs[s] = err
+					return
+				}
+				results[s] = res
+			}
+		}(s)
+	}
+	wg.Wait()
+	for s := 0; s < streams; s++ {
+		if errs[s] != nil {
+			t.Fatalf("stream %d: %v", s, errs[s])
+		}
+		if results[s].Misses != want.Misses || results[s].Elapsed != want.Elapsed ||
+			results[s].MeanLevel() != want.MeanLevel() {
+			t.Fatalf("stream %d diverged from stand-alone controller: %+v vs %+v", s, results[s], want)
+		}
+	}
+}
+
+// TestProgramDirectPathIsolation checks that direct-path controllers get
+// private schedule copies: Best_Sched permutations in one stream must
+// not leak into another.
+func TestProgramDirectPathIsolation(t *testing.T) {
+	sys := tinySystem(t)
+	prog, err := NewProgram(sys, WithTables(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.UsesTables() {
+		t.Fatal("WithTables(false) ignored")
+	}
+	a := prog.NewController()
+	b := prog.NewController()
+	if &a.alpha[0] == &b.alpha[0] {
+		t.Fatal("direct-path controllers share a schedule buffer")
+	}
+	if _, err := a.Next(); err != nil {
+		t.Fatal(err)
+	}
+	a.Completed(1)
+	// b is untouched by a's progress.
+	if b.Position() != 0 || b.Elapsed() != 0 {
+		t.Fatalf("sibling controller mutated: pos=%d t=%v", b.Position(), b.Elapsed())
+	}
+}
+
+// TestControllerResetRestoresSchedule verifies that pooled reuse after
+// Reset is indistinguishable from a fresh instance on the direct path.
+func TestControllerResetRestoresSchedule(t *testing.T) {
+	sys := tinySystem(t)
+	prog, err := NewProgram(sys, WithTables(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := prog.NewController()
+	first, err := c.RunCycle(func(a ActionID, q Level) Cycles { return sys.Cav.At(q, a) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Reset()
+	if got, want := c.Schedule(), prog.Schedule(); len(got) != len(want) {
+		t.Fatalf("schedule length changed: %v vs %v", got, want)
+	} else {
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("Reset did not restore baseline order: %v vs %v", got, want)
+			}
+		}
+	}
+	second, err := c.RunCycle(func(a ActionID, q Level) Cycles { return sys.Cav.At(q, a) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Elapsed != second.Elapsed || first.MeanLevel() != second.MeanLevel() {
+		t.Fatalf("reused controller diverged: %+v vs %+v", second, first)
+	}
+}
+
+// TestRetargetIsPrivate checks that Retarget on one controller leaves
+// siblings over the original Program untouched.
+func TestRetargetIsPrivate(t *testing.T) {
+	sys := tinySystem(t)
+	prog, err := NewProgram(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := prog.NewController()
+	b := prog.NewController()
+	d2 := NewTimeFamily(sys.Levels, sys.Graph.Len(), 45)
+	if err := a.Retarget(d2); err != nil {
+		t.Fatal(err)
+	}
+	if a.Program() == prog {
+		t.Fatal("Retarget did not fork the program")
+	}
+	if b.Program() != prog {
+		t.Fatal("sibling lost its program")
+	}
+	if b.System().D.At(0, 0) == 45 && sys.D.At(0, 0) != 45 {
+		t.Fatal("Retarget leaked into the shared system")
+	}
+}

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/platform"
+	"repro/internal/session"
 )
 
 // Action indices of the per-frame decode chain.
@@ -256,7 +257,7 @@ func DecodeStream(stream []Bitstream, deadline core.Cycles, seed uint64) (RunRes
 	if err != nil {
 		return RunResult{}, err
 	}
-	ctrl, err := core.NewController(sys)
+	sess, err := session.NewSession(sys)
 	if err != nil {
 		return RunResult{}, err
 	}
@@ -265,10 +266,8 @@ func DecodeStream(stream []Bitstream, deadline core.Cycles, seed uint64) (RunRes
 	var lvl, cons float64
 	for _, bs := range stream {
 		w := NewWorkload(bs, rng.Split())
-		ctrl.Reset()
-		cr, err := ctrl.RunCycle(func(a core.ActionID, q core.Level) core.Cycles {
-			return w.Cost(a, q)
-		})
+		sess.Reset()
+		cr, err := sess.Run(w)
 		if err != nil {
 			return res, err
 		}

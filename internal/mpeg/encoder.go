@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/platform"
+	"repro/internal/session"
 	"repro/internal/trace"
 	"repro/internal/video"
 )
@@ -15,7 +16,7 @@ import (
 // constant runs over the same source observe identical content noise.
 type Encoder struct {
 	FS   *FrameSystem
-	Ctrl *core.Controller // nil for constant quality
+	Sess *session.Session // nil for constant quality
 	Exec *platform.Executor
 
 	constQ core.Level
@@ -23,9 +24,11 @@ type Encoder struct {
 
 	// learn, when non-nil, tracks per-(body action, level) average
 	// execution times online and refreshes the controller's
-	// average-time tables between frames.
-	learn      *trace.EWMA
-	decisionOv core.Cycles
+	// average-time tables between frames. It is fed by an EWMAObserver
+	// on the session; the observed cost is the executor's elapsed-time
+	// delta, which already includes the per-decision instrumentation
+	// the system's families carry.
+	learn *trace.EWMA
 }
 
 // FrameReport is the outcome of encoding one frame.
@@ -104,7 +107,7 @@ func NewControlled(n int, budget core.Cycles, seed uint64, opts ...ControlledOpt
 	}
 	exec := platform.NewExecutor()
 	exec.DecisionOverhead = cfg.decisionOv
-	enc := &Encoder{FS: fs, Ctrl: ctrl, Exec: exec, seed: seed, decisionOv: cfg.decisionOv}
+	enc := &Encoder{FS: fs, Sess: session.Wrap(ctrl), Exec: exec, seed: seed}
 	if cfg.learnAlpha > 0 {
 		if fs.Iter == nil {
 			return nil, fmt.Errorf("mpeg: learning requires the iterative-table configuration")
@@ -113,7 +116,13 @@ func NewControlled(n int, budget core.Cycles, seed uint64, opts ...ControlledOpt
 		if err != nil {
 			return nil, err
 		}
-		exec.RecordTrace = true
+		// Completed actions feed the learner directly; the observed
+		// cost is the elapsed-time delta, which includes the
+		// per-decision instrumentation the system's families carry.
+		enc.Sess.Observe(session.EWMAObserver(enc.learn, func(a core.ActionID) core.ActionID {
+			base, _ := SplitID(a)
+			return core.ActionID(base)
+		}))
 	}
 	return enc, nil
 }
@@ -138,7 +147,7 @@ func NewConstant(n int, q core.Level, budget core.Cycles, seed uint64) (*Encoder
 }
 
 // Controlled reports whether the encoder runs under QoS control.
-func (e *Encoder) Controlled() bool { return e.Ctrl != nil }
+func (e *Encoder) Controlled() bool { return e.Sess != nil }
 
 // ConstQ returns the constant level (meaningful when !Controlled).
 func (e *Encoder) ConstQ() core.Level { return e.constQ }
@@ -153,7 +162,7 @@ func (e *Encoder) frameRNG(index int) *platform.RNG {
 // per-frame policies (skip-over, PID, elastic), which pick one level per
 // frame.
 func (e *Encoder) EncodeFrameAt(f *video.Frame, budget core.Cycles, q core.Level) (FrameReport, error) {
-	if e.Ctrl != nil {
+	if e.Sess != nil {
 		return FrameReport{}, fmt.Errorf("mpeg: EncodeFrameAt on a controlled encoder")
 	}
 	w := NewWorkload(f, e.frameRNG(f.Index))
@@ -172,36 +181,30 @@ func (e *Encoder) EncodeFrameAt(f *video.Frame, budget core.Cycles, q core.Level
 // the report. For the constant-quality encoder the budget only scales
 // the miss accounting; execution time is whatever the content costs.
 func (e *Encoder) EncodeFrame(f *video.Frame, budget core.Cycles) (FrameReport, error) {
-	if e.Ctrl == nil {
+	if e.Sess == nil {
 		return e.EncodeFrameAt(f, budget, e.constQ)
 	}
 	w := NewWorkload(f, e.frameRNG(f.Index))
 	if min := e.FS.MinFeasibleBudget(); budget < min {
 		return FrameReport{}, fmt.Errorf("mpeg: frame %d budget %v below minimal feasible %v", f.Index, budget, min)
 	}
-	if err := e.FS.SetBudget(budget, e.Ctrl); err != nil {
+	if err := e.FS.SetBudget(budget, e.Sess.Controller()); err != nil {
 		return FrameReport{}, err
 	}
 	if e.learn != nil {
 		// Refresh the optimality tables from what previous frames
 		// taught us about average costs; safety tables are untouched.
+		// The EWMA observer on the session keeps feeding the learner
+		// as the frame executes.
 		e.learn.Apply(e.FS.Body.Cav, e.FS.Body.Cwc)
 		if err := e.FS.Iter.UpdateAverages(e.FS.Body, e.FS.BodyOrder); err != nil {
 			return FrameReport{}, err
 		}
 	}
-	e.Ctrl.Reset()
-	rep, err := e.Exec.RunControlled(e.Ctrl, w, e.FS.Sys)
+	e.Sess.Reset()
+	rep, err := e.Exec.RunControlled(e.Sess, w, e.FS.Sys)
 	if err != nil {
 		return FrameReport{}, err
-	}
-	if e.learn != nil {
-		for _, st := range rep.Trace {
-			base, _ := SplitID(st.Action)
-			// The system's time families include the per-decision
-			// instrumentation cost; observe on the same scale.
-			e.learn.Observe(core.ActionID(base), st.Level, st.Cost+e.decisionOv)
-		}
 	}
 	return FrameReport{
 		Elapsed:   rep.Elapsed,

@@ -11,7 +11,9 @@
 package pipeline
 
 import (
+	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/buffer"
 	"repro/internal/core"
@@ -106,6 +108,31 @@ func (r *Result) EncodedRecords() []FrameRecord {
 		}
 	}
 	return out
+}
+
+// RunStreams simulates several pipeline streams concurrently, one
+// goroutine per config — the serving shape of the system: many
+// independent camera/encoder streams progressing in parallel. Results
+// are returned in config order; a failing stream does not stop its
+// siblings (its slot is nil and its error joined).
+func RunStreams(cfgs []Config) ([]*Result, error) {
+	results := make([]*Result, len(cfgs))
+	errs := make([]error, len(cfgs))
+	var wg sync.WaitGroup
+	for i := range cfgs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := Run(cfgs[i])
+			if err != nil {
+				errs[i] = fmt.Errorf("pipeline: stream %d: %w", i, err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	return results, errors.Join(errs...)
 }
 
 // Run simulates the whole benchmark stream through the pipeline.

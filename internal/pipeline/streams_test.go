@@ -1,0 +1,64 @@
+package pipeline
+
+import (
+	"testing"
+
+	"repro/internal/video"
+)
+
+// TestRunStreamsConcurrent runs 8 concurrent pipeline streams (mixed
+// controlled and constant) and checks each matches its sequential
+// counterpart exactly — determinism must survive concurrency.
+func TestRunStreamsConcurrent(t *testing.T) {
+	cfg := video.DefaultConfig()
+	cfg.Frames = 20
+	cfg.Macroblocks = 30
+	src, err := video.NewSource(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := make([]Config, 8)
+	for i := range cfgs {
+		cfgs[i] = Config{Source: src, K: 1, Controlled: i%2 == 0, ConstQ: 3, Seed: uint64(i + 1)}
+	}
+	concurrent, err := RunStreams(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cc := range cfgs {
+		seq, err := Run(cc)
+		if err != nil {
+			t.Fatalf("stream %d sequential: %v", i, err)
+		}
+		got := concurrent[i]
+		if got == nil {
+			t.Fatalf("stream %d missing", i)
+		}
+		if got.Skips != seq.Skips || got.Misses != seq.Misses || got.TotalCycles != seq.TotalCycles {
+			t.Fatalf("stream %d diverged: %+v vs %+v", i, got, seq)
+		}
+	}
+}
+
+func TestRunStreamsPartialFailure(t *testing.T) {
+	cfg := video.DefaultConfig()
+	cfg.Frames = 20
+	cfg.Macroblocks = 10
+	src, err := video.NewSource(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := RunStreams([]Config{
+		{Source: src, K: 1, ConstQ: 2, Seed: 1},
+		{Source: nil, K: 1}, // invalid: must fail alone
+	})
+	if err == nil {
+		t.Fatal("invalid stream accepted")
+	}
+	if results[0] == nil {
+		t.Fatal("valid sibling stream was dropped")
+	}
+	if results[1] != nil {
+		t.Fatal("failed stream produced a result")
+	}
+}

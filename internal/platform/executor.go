@@ -75,11 +75,24 @@ func (r Report) OverheadFraction() float64 {
 	return float64(r.CtrlCycles) / float64(r.Elapsed)
 }
 
+// Driver is the per-cycle decision loop the executor drives: the
+// controller-shaped subset of behaviour RunControlled needs.
+// *core.Controller implements it directly; session wrappers that add
+// observer hooks around a controller implement it too.
+type Driver interface {
+	Done() bool
+	Next() (core.Decision, error)
+	Completed(core.Cycles)
+	Elapsed() core.Cycles
+}
+
+var _ Driver = (*core.Controller)(nil)
+
 // RunControlled executes one full cycle driven by the controller: for
 // each step the controller picks (action, level), the workload consumes
 // cycles, and the controller observes the completion time. The
 // controller must be at the start of a cycle (fresh or Reset).
-func (e *Executor) RunControlled(ctrl *core.Controller, w Workload, sys *core.System) (Report, error) {
+func (e *Executor) RunControlled(ctrl Driver, w Workload, sys *core.System) (Report, error) {
 	rep := Report{}
 	start := e.Clock.Now()
 	for !ctrl.Done() {

@@ -1,0 +1,187 @@
+package session
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// demoBuilder returns a valid three-stage pipeline builder; tests
+// perturb it to provoke specific validation errors.
+func demoBuilder() *SystemBuilder {
+	return NewSystemBuilder().
+		Levels(0, 2).
+		Actions("in", "work", "out").
+		Chain("in", "work", "out").
+		TimeAll("in", 5, 8).
+		Time("work", 0, 10, 20).
+		Time("work", 1, 20, 40).
+		Time("work", 2, 30, 60).
+		TimeAll("out", 5, 8).
+		DeadlineAll("out", 100)
+}
+
+func TestBuilderBuildsValidSystem(t *testing.T) {
+	sys, err := demoBuilder().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Graph.Len() != 3 {
+		t.Fatalf("graph size %d", sys.Graph.Len())
+	}
+	work, _ := sys.Graph.Lookup("work")
+	if sys.Cav.At(2, work) != 30 || sys.Cwc.At(2, work) != 60 {
+		t.Fatal("per-level time not applied")
+	}
+	out, _ := sys.Graph.Lookup("out")
+	if sys.D.At(1, out) != 100 {
+		t.Fatal("deadline not applied")
+	}
+	if !sys.FeasibleAtQmin() {
+		t.Fatal("demo system should be feasible at qmin")
+	}
+}
+
+func TestBuilderValidationErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*SystemBuilder) *SystemBuilder
+		want string // substring of the error, naming action/level
+	}{
+		{
+			"duplicate action",
+			func(b *SystemBuilder) *SystemBuilder { return b.Action("work") },
+			`action "work" declared twice`,
+		},
+		{
+			"edge to unknown action",
+			func(b *SystemBuilder) *SystemBuilder { return b.Edge("work", "render") },
+			`edge work -> render references unknown action "render"`,
+		},
+		{
+			"missing time at a level",
+			func(b *SystemBuilder) *SystemBuilder {
+				nb := NewSystemBuilder().
+					Levels(0, 2).
+					Actions("solo").
+					Time("solo", 0, 1, 2).
+					Time("solo", 1, 2, 3)
+				return nb
+			},
+			`action "solo" has no execution time at level 2`,
+		},
+		{
+			"non-monotone level range",
+			func(b *SystemBuilder) *SystemBuilder {
+				return NewSystemBuilder().Levels(3, 1).Actions("a").TimeAll("a", 1, 2)
+			},
+			"level range 3..1 is not ascending",
+		},
+		{
+			"negative level range",
+			func(b *SystemBuilder) *SystemBuilder {
+				return NewSystemBuilder().Levels(-1, 1).Actions("a").TimeAll("a", 1, 2)
+			},
+			"level range -1..1 includes negative levels",
+		},
+		{
+			"time for unknown action",
+			func(b *SystemBuilder) *SystemBuilder { return b.TimeAll("ghost", 1, 2) },
+			`execution time for unknown action "ghost"`,
+		},
+		{
+			"time outside level range",
+			func(b *SystemBuilder) *SystemBuilder { return b.Time("work", 7, 1, 2) },
+			`execution time for action "work" at level 7 outside range`,
+		},
+		{
+			"deadline for unknown action",
+			func(b *SystemBuilder) *SystemBuilder { return b.DeadlineAll("ghost", 10) },
+			`deadline for unknown action "ghost"`,
+		},
+		{
+			"no levels",
+			func(b *SystemBuilder) *SystemBuilder { return NewSystemBuilder().Actions("a").TimeAll("a", 1, 2) },
+			"no quality levels declared",
+		},
+		{
+			"bad iterate",
+			func(b *SystemBuilder) *SystemBuilder { return b.Iterate(0) },
+			"iterate count 0 must be positive",
+		},
+		{
+			"soft mark on unknown action",
+			func(b *SystemBuilder) *SystemBuilder { return b.SoftDeadline("ghost") },
+			`soft-deadline mark on unknown action "ghost"`,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := c.mut(demoBuilder()).Build()
+			if err == nil {
+				t.Fatal("invalid builder accepted")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not name the offence %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestBuilderCollectsAllErrors(t *testing.T) {
+	_, err := NewSystemBuilder().
+		Levels(0, 1).
+		Actions("a", "a").
+		Edge("a", "b").
+		Build()
+	if err == nil {
+		t.Fatal("invalid builder accepted")
+	}
+	for _, want := range []string{"declared twice", "unknown action"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("joined error %q missing %q", err, want)
+		}
+	}
+}
+
+func TestBuilderIterate(t *testing.T) {
+	sys, err := NewSystemBuilder().
+		Levels(0, 0).
+		Action("a").
+		TimeAll("a", 10, 20).
+		DeadlineAll("a", 1000).
+		Iterate(3).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Graph.Len() != 3 {
+		t.Fatalf("unrolled size %d", sys.Graph.Len())
+	}
+	d := sys.D.AtIndex(0)
+	if !d[0].IsInf() || !d[1].IsInf() || d[2] != 1000 {
+		t.Fatalf("deadline not confined to last iteration: %v", d)
+	}
+}
+
+func TestBuilderSoftDeadline(t *testing.T) {
+	sys, err := demoBuilder().SoftDeadline("out").Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := sys.Graph.Lookup("out")
+	if !sys.IsSoft(out) {
+		t.Fatal("soft mark lost")
+	}
+}
+
+func TestBuilderProgram(t *testing.T) {
+	prog, err := demoBuilder().BuildProgram(core.WithMode(core.Soft))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Mode() != core.Soft {
+		t.Fatal("controller option not applied")
+	}
+}

@@ -1,0 +1,88 @@
+package session
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/codegen"
+)
+
+// FromModel populates a SystemBuilder from a parsed codegen text model,
+// so ".qos" files and fluent construction share one validation and
+// build path. The returned builder can be amended further before Build.
+func FromModel(m *codegen.Model) *SystemBuilder {
+	b := NewSystemBuilder()
+	if len(m.Levels) > 0 {
+		b.Levels(m.Levels.Min(), m.Levels.Max())
+	}
+	b.Actions(m.Actions...)
+	for _, e := range m.Edges {
+		b.Edge(e[0], e[1])
+	}
+	for _, t := range m.Times() {
+		if t.Level == codegen.WildcardLevel {
+			b.TimeAll(t.Action, t.Av, t.Wc)
+		} else {
+			b.Time(t.Action, t.Level, t.Av, t.Wc)
+		}
+	}
+	// The text format defaults unspecified times to zero; materialise
+	// that default so the builder's per-level coverage check (which is
+	// stricter than the text format) stays satisfied.
+	for _, name := range m.Actions {
+		if _, ok := lookup(b.times, name, wildcard); !ok {
+			covered := true
+			for _, q := range m.Levels {
+				if _, ok := lookup(b.times, name, q); !ok {
+					covered = false
+					break
+				}
+			}
+			if !covered {
+				for _, q := range m.Levels {
+					if _, ok := lookup(b.times, name, q); !ok {
+						b.Time(name, q, 0, 0)
+					}
+				}
+			}
+		}
+	}
+	for _, d := range m.Deadlines() {
+		if d.Level == codegen.WildcardLevel {
+			b.DeadlineAll(d.Action, d.Deadline)
+		} else {
+			b.Deadline(d.Action, d.Level, d.Deadline)
+		}
+	}
+	if m.Iterate > 1 {
+		b.Iterate(m.Iterate)
+	}
+	return b
+}
+
+// ParseModel reads the textual model format (the prototype tool's
+// input: levels, action, edge, time, deadline, iterate directives) into
+// a SystemBuilder.
+func ParseModel(r io.Reader) (*SystemBuilder, error) {
+	m, err := codegen.Parse(r)
+	if err != nil {
+		return nil, err
+	}
+	return FromModel(m), nil
+}
+
+// LoadModel reads a ".qos" model file into a SystemBuilder, so a model
+// file builds a System (and from there a Session or Runtime) directly:
+//
+//	b, err := qos.LoadModel("app.qos")
+//	sys, err := b.Build()
+//	rt, err := qos.NewRuntime(sys)
+func LoadModel(path string) (*SystemBuilder, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("qos: %w", err)
+	}
+	defer f.Close()
+	return ParseModel(f)
+}

@@ -1,0 +1,132 @@
+package session
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+)
+
+// Runtime is a goroutine-safe multi-stream server over one controlled
+// system: the expensive precomputed state (validation, EDF schedule,
+// constraint tables — a core.Program) is built once and shared, while
+// each concurrent stream gets its own cheap Session whose controller
+// instance is recycled through a sync.Pool.
+//
+// Acquire/Release (or the one-shot RunCycle) are safe to call from any
+// number of goroutines; each Session itself stays single-stream.
+type Runtime struct {
+	prog *core.Program
+	pool sync.Pool
+
+	active    atomic.Int64
+	cycles    atomic.Int64
+	actions   atomic.Int64
+	fallbacks atomic.Int64
+	misses    atomic.Int64
+}
+
+// NewRuntime validates the system, precomputes its controller program
+// with the given options and returns the serving runtime.
+func NewRuntime(sys *core.System, opts ...core.Option) (*Runtime, error) {
+	prog, err := core.NewProgram(sys, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return NewRuntimeFromProgram(prog), nil
+}
+
+// NewRuntimeFromProgram serves an already-built program (e.g. one with
+// a custom evaluator).
+func NewRuntimeFromProgram(prog *core.Program) *Runtime {
+	return &Runtime{prog: prog}
+}
+
+// Program returns the shared precomputed state.
+func (r *Runtime) Program() *core.Program { return r.prog }
+
+// System returns the served system.
+func (r *Runtime) System() *core.System { return r.prog.System() }
+
+// Acquire hands out a fresh Session for one stream, reusing a pooled
+// controller instance when available. The session is at a cycle
+// boundary. Observers are per-acquire: they see only this stream.
+// Controller configuration (mode, smoothness, evaluator) is fixed for
+// the whole runtime at NewRuntime.
+func (r *Runtime) Acquire(obs ...Observer) *Session {
+	var ctrl *core.Controller
+	if v := r.pool.Get(); v != nil {
+		ctrl = v.(*core.Controller)
+		ctrl.Reset()
+	} else {
+		// Fresh instances come out of NewController already at a
+		// cycle boundary; no second reset needed.
+		ctrl = r.prog.NewController()
+	}
+	r.active.Add(1)
+	return &Session{ctrl: ctrl, obs: obs, rt: r}
+}
+
+// Release returns the session's controller instance to the pool. The
+// session must not be used afterwards. Releasing a session that did not
+// come from this runtime is a no-op.
+func (r *Runtime) Release(s *Session) {
+	if s == nil || s.rt != r || s.ctrl == nil {
+		return
+	}
+	ctrl := s.ctrl
+	s.ctrl = nil
+	s.rt = nil
+	r.active.Add(-1)
+	// A Retarget would have forked the controller off the shared
+	// program; keep only instances that still serve it.
+	if ctrl.Program() == r.prog {
+		r.pool.Put(ctrl)
+	}
+}
+
+// RunCycle serves one full cycle of one stream: acquire, run the
+// workload, release. This is the common fast path for stateless
+// callers.
+func (r *Runtime) RunCycle(w platform.Workload, obs ...Observer) (core.CycleResult, error) {
+	s := r.Acquire(obs...)
+	defer r.Release(s)
+	return s.Run(w)
+}
+
+// RunCycleFunc is RunCycle with a bare function workload.
+func (r *Runtime) RunCycleFunc(f func(core.ActionID, core.Level) core.Cycles, obs ...Observer) (core.CycleResult, error) {
+	return r.RunCycle(platform.WorkloadFunc(f), obs...)
+}
+
+// account folds a finished cycle into the served totals.
+func (r *Runtime) account(res *core.CycleResult) {
+	r.cycles.Add(1)
+	r.actions.Add(int64(len(res.Trace)))
+	r.fallbacks.Add(int64(res.Fallbacks))
+	r.misses.Add(int64(res.Misses))
+}
+
+// RuntimeStats is a snapshot of the served totals.
+type RuntimeStats struct {
+	// ActiveSessions is the number of sessions currently acquired.
+	ActiveSessions int64
+	// Cycles, Actions count completed Session.Run cycles and their
+	// actions across all streams.
+	Cycles, Actions int64
+	// Fallbacks, Misses aggregate the corresponding per-cycle counts.
+	Fallbacks, Misses int64
+}
+
+// Stats returns a snapshot of the served totals. Cycles driven manually
+// (Next/Completed without Run) are not counted.
+func (r *Runtime) Stats() RuntimeStats {
+	return RuntimeStats{
+		ActiveSessions: r.active.Load(),
+		Cycles:         r.cycles.Load(),
+		Actions:        r.actions.Load(),
+		Fallbacks:      r.fallbacks.Load(),
+		Misses:         r.misses.Load(),
+	}
+}

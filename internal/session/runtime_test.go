@@ -1,0 +1,196 @@
+package session
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+)
+
+func TestRuntimeServesOneStream(t *testing.T) {
+	sys := demoSystem(t)
+	rt, err := NewRuntime(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rt.RunCycleFunc(func(a core.ActionID, q core.Level) core.Cycles {
+		return sys.Cav.At(q, a)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Misses != 0 || len(res.Trace) != 3 {
+		t.Fatalf("run: %+v", res)
+	}
+	st := rt.Stats()
+	if st.Cycles != 1 || st.Actions != 3 || st.ActiveSessions != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestRuntimePoolReuse(t *testing.T) {
+	sys := demoSystem(t)
+	rt, err := NewRuntime(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := rt.Acquire()
+	c1 := s1.Controller()
+	rt.Release(s1)
+	s2 := rt.Acquire()
+	if s2.Controller() != c1 {
+		t.Log("pool did not reuse the instance (allowed, but unexpected in a single-goroutine test)")
+	}
+	if s2.Controller().Program() != rt.Program() {
+		t.Fatal("pooled controller lost its program")
+	}
+	if s2.Position() != 0 || s2.Elapsed() != 0 {
+		t.Fatal("acquired session not at a cycle boundary")
+	}
+	rt.Release(s2)
+	// Releasing twice (or a foreign session) is a no-op.
+	rt.Release(s2)
+	rt.Release(nil)
+}
+
+func TestRuntimeRetargetedSessionNotPooled(t *testing.T) {
+	sys := demoSystem(t)
+	rt, err := NewRuntime(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rt.Acquire()
+	d2 := core.NewTimeFamily(sys.Levels, sys.Graph.Len(), 200)
+	if err := s.Controller().Retarget(d2); err != nil {
+		t.Fatal(err)
+	}
+	forked := s.Controller()
+	rt.Release(s)
+	// The forked controller must not come back out of the pool.
+	for i := 0; i < 8; i++ {
+		s2 := rt.Acquire()
+		if s2.Controller() == forked {
+			t.Fatal("retargeted controller re-entered the shared pool")
+		}
+		defer rt.Release(s2)
+	}
+}
+
+// TestRuntimeConcurrentStreams drives 8 concurrent sessions through one
+// runtime under -race: one shared System's precomputed tables serving
+// many streams, each deterministic and miss free.
+func TestRuntimeConcurrentStreams(t *testing.T) {
+	sys := demoSystem(t)
+	rt, err := NewRuntime(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference result at a fixed load for determinism checking.
+	ref, err := rt.RunCycleFunc(func(a core.ActionID, q core.Level) core.Cycles {
+		return sys.Cav.At(q, a)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const streams = 8
+	const cyclesPerStream = 200
+	var wg sync.WaitGroup
+	errs := make([]error, streams)
+	for g := 0; g < streams; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := platform.NewRNG(uint64(g) + 1)
+			for c := 0; c < cyclesPerStream; c++ {
+				var res core.CycleResult
+				var err error
+				if c%2 == 0 {
+					// Deterministic cycle: must match the reference.
+					res, err = rt.RunCycleFunc(func(a core.ActionID, q core.Level) core.Cycles {
+						return sys.Cav.At(q, a)
+					})
+					if err == nil && (res.Elapsed != ref.Elapsed || res.MeanLevel() != ref.MeanLevel()) {
+						t.Errorf("stream %d cycle %d diverged: %v/%v vs %v/%v",
+							g, c, res.Elapsed, res.MeanLevel(), ref.Elapsed, ref.MeanLevel())
+						return
+					}
+				} else {
+					// Random in-contract load: hard mode guarantees no miss.
+					res, err = rt.RunCycleFunc(func(a core.ActionID, q core.Level) core.Cycles {
+						av := sys.Cav.At(q, a)
+						wc := sys.Cwc.At(q, a)
+						return av + core.Cycles(rng.Float64()*float64(wc-av))
+					})
+				}
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				if res.Misses != 0 {
+					t.Errorf("stream %d cycle %d missed %d deadlines", g, c, res.Misses)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("stream %d: %v", g, err)
+		}
+	}
+	st := rt.Stats()
+	if want := int64(streams*cyclesPerStream + 1); st.Cycles != want {
+		t.Fatalf("served %d cycles, want %d", st.Cycles, want)
+	}
+	if st.Misses != 0 || st.ActiveSessions != 0 {
+		t.Fatalf("stats after serve: %+v", st)
+	}
+}
+
+// TestRuntimeConcurrentObserversPerStream checks that per-acquire
+// observers see exactly their own stream.
+func TestRuntimeConcurrentObserversPerStream(t *testing.T) {
+	sys := demoSystem(t)
+	rt, err := NewRuntime(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const streams = 8
+	counts := make([]int, streams)
+	var wg sync.WaitGroup
+	for g := 0; g < streams; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			obs := FuncObserver{Completion: func(core.Decision, core.Cycles, core.Cycles) { counts[g]++ }}
+			for c := 0; c < 50; c++ {
+				if _, err := rt.RunCycleFunc(func(a core.ActionID, q core.Level) core.Cycles {
+					return sys.Cav.At(q, a)
+				}, obs); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, n := range counts {
+		if n != 50*3 {
+			t.Fatalf("stream %d observer saw %d completions, want %d", g, n, 150)
+		}
+	}
+}
+
+func TestRuntimeSoftMode(t *testing.T) {
+	sys := demoSystem(t)
+	rt, err := NewRuntime(sys, core.WithMode(core.Soft))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Program().Mode() != core.Soft {
+		t.Fatal("runtime controller options not applied")
+	}
+}

@@ -1,0 +1,231 @@
+package session
+
+import (
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/trace"
+)
+
+// Observer receives the per-stream control events of a Session. All
+// hooks run synchronously on the stream's goroutine; observers attached
+// to different Sessions never race with each other.
+type Observer interface {
+	// OnDecision fires after every controller decision.
+	OnDecision(d core.Decision)
+	// OnFallback fires (after OnDecision) when no level was admissible
+	// and the controller degraded to qmin.
+	OnFallback(d core.Decision)
+	// OnCompletion fires when the decided action completes: actual is
+	// the observed cost of this action, elapsed the cycle time so far.
+	OnCompletion(d core.Decision, actual, elapsed core.Cycles)
+}
+
+// FuncObserver adapts plain functions to Observer; nil fields are
+// skipped.
+type FuncObserver struct {
+	Decision   func(d core.Decision)
+	Fallback   func(d core.Decision)
+	Completion func(d core.Decision, actual, elapsed core.Cycles)
+}
+
+// OnDecision implements Observer.
+func (o FuncObserver) OnDecision(d core.Decision) {
+	if o.Decision != nil {
+		o.Decision(d)
+	}
+}
+
+// OnFallback implements Observer.
+func (o FuncObserver) OnFallback(d core.Decision) {
+	if o.Fallback != nil {
+		o.Fallback(d)
+	}
+}
+
+// OnCompletion implements Observer.
+func (o FuncObserver) OnCompletion(d core.Decision, actual, elapsed core.Cycles) {
+	if o.Completion != nil {
+		o.Completion(d, actual, elapsed)
+	}
+}
+
+// RecorderObserver feeds every completed action into a trace.Recorder —
+// the profiling side of the method (observed samples become Cav/Cwc
+// estimates via Recorder.Estimate). mapAction translates the running
+// system's action IDs to the recorder's (e.g. unrolled frame action to
+// body action); nil means identity.
+func RecorderObserver(rec *trace.Recorder, mapAction func(core.ActionID) core.ActionID) Observer {
+	return FuncObserver{
+		Completion: func(d core.Decision, actual, _ core.Cycles) {
+			a := d.Action
+			if mapAction != nil {
+				a = mapAction(a)
+			}
+			rec.Record(trace.Sample{Action: a, Level: d.Level, Cost: actual})
+		},
+	}
+}
+
+// EWMAObserver feeds every completed action into a trace.EWMA learner —
+// the paper's future-work item, online learning of average execution
+// times. mapAction is as in RecorderObserver.
+func EWMAObserver(e *trace.EWMA, mapAction func(core.ActionID) core.ActionID) Observer {
+	return FuncObserver{
+		Completion: func(d core.Decision, actual, _ core.Cycles) {
+			a := d.Action
+			if mapAction != nil {
+				a = mapAction(a)
+			}
+			e.Observe(a, d.Level, actual)
+		},
+	}
+}
+
+// SessionOption configures NewSession.
+type SessionOption func(*sessionConfig)
+
+type sessionConfig struct {
+	ctrlOpts []core.Option
+	obs      []Observer
+}
+
+// WithObserver attaches an observer to the session.
+func WithObserver(o Observer) SessionOption {
+	return func(c *sessionConfig) { c.obs = append(c.obs, o) }
+}
+
+// WithControllerOptions forwards options (mode, smoothness, tables,
+// schedule, evaluator) to the controller built for a stand-alone
+// session. For Runtime sessions the controller configuration is fixed
+// at NewRuntime instead.
+func WithControllerOptions(opts ...core.Option) SessionOption {
+	return func(c *sessionConfig) { c.ctrlOpts = append(c.ctrlOpts, opts...) }
+}
+
+// Session is the per-stream run loop over one controller: Next yields
+// the decision for the coming action, Completed reports its observed
+// cost, Run drives a whole cycle against a workload, Reset prepares the
+// next cycle. Observer hooks fire on every decision, fallback and
+// completion.
+//
+// A Session is not safe for concurrent use; run one Session per stream
+// (Runtime hands out as many as needed over one shared Program).
+type Session struct {
+	ctrl *core.Controller
+	obs  []Observer
+
+	pending    core.Decision
+	hasPending bool
+
+	rt *Runtime
+}
+
+// NewSession builds a stand-alone session: its own controller (and
+// program) over the system. To share precomputed state across many
+// streams use NewRuntime / Runtime.Acquire instead.
+func NewSession(sys *core.System, opts ...SessionOption) (*Session, error) {
+	var cfg sessionConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	ctrl, err := core.NewController(sys, cfg.ctrlOpts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{ctrl: ctrl, obs: cfg.obs}, nil
+}
+
+// Wrap adapts an existing controller into a Session — the migration
+// path for callers that configured a controller directly.
+func Wrap(ctrl *core.Controller, obs ...Observer) *Session {
+	return &Session{ctrl: ctrl, obs: obs}
+}
+
+// Observe attaches further observers to the session.
+func (s *Session) Observe(obs ...Observer) { s.obs = append(s.obs, obs...) }
+
+// Controller exposes the underlying controller for advanced use
+// (Retarget, custom evaluators). Sessions acquired from a Runtime must
+// not Retarget it — that would fork away from the shared tables.
+func (s *Session) Controller() *core.Controller { return s.ctrl }
+
+// System returns the controlled system.
+func (s *Session) System() *core.System { return s.ctrl.System() }
+
+// Done reports whether all actions of the cycle have been scheduled.
+func (s *Session) Done() bool { return s.ctrl.Done() }
+
+// Elapsed returns the controller's view of elapsed time in the cycle.
+func (s *Session) Elapsed() core.Cycles { return s.ctrl.Elapsed() }
+
+// Position returns the number of completed actions.
+func (s *Session) Position() int { return s.ctrl.Position() }
+
+// Stats returns the controller statistics since the last Reset.
+func (s *Session) Stats() core.ControllerStats { return s.ctrl.Stats() }
+
+// Schedule returns the schedule computed so far.
+func (s *Session) Schedule() []core.ActionID { return s.ctrl.Schedule() }
+
+// Assignment returns the current quality assignment.
+func (s *Session) Assignment() core.Assignment { return s.ctrl.Assignment() }
+
+// Reset prepares the session for a new cycle over the same stream.
+func (s *Session) Reset() {
+	s.ctrl.Reset()
+	s.hasPending = false
+}
+
+// Next computes the decision for the coming action and fires the
+// on-decision (and possibly on-fallback) hooks.
+func (s *Session) Next() (core.Decision, error) {
+	d, err := s.ctrl.Next()
+	if err != nil {
+		return d, err
+	}
+	s.pending = d
+	s.hasPending = true
+	for _, o := range s.obs {
+		o.OnDecision(d)
+	}
+	if d.Fallback {
+		for _, o := range s.obs {
+			o.OnFallback(d)
+		}
+	}
+	return d, nil
+}
+
+// Completed reports the observed cost of the action returned by the
+// last Next and fires the on-completion hooks.
+func (s *Session) Completed(actual core.Cycles) {
+	s.ctrl.Completed(actual)
+	if !s.hasPending {
+		return
+	}
+	s.hasPending = false
+	for _, o := range s.obs {
+		o.OnCompletion(s.pending, actual, s.ctrl.Elapsed())
+	}
+}
+
+// Run drives one full cycle against the workload: for each step the
+// controller picks (action, level), the workload returns the consumed
+// cycles, and the controller observes the completion. Misses are
+// counted against D_θ; observers fire on every step. The session must
+// be at a cycle boundary (fresh, Reset, or just acquired).
+func (s *Session) Run(w platform.Workload) (core.CycleResult, error) {
+	res, err := core.RunCycleWith(s, w.Cost)
+	if err != nil {
+		return res, err
+	}
+	if s.rt != nil {
+		s.rt.account(&res)
+	}
+	return res, nil
+}
+
+// RunFunc is Run with a bare function workload.
+func (s *Session) RunFunc(f func(core.ActionID, core.Level) core.Cycles) (core.CycleResult, error) {
+	return s.Run(platform.WorkloadFunc(f))
+}

@@ -12,35 +12,67 @@
 // (b) optimal — the available time budget is filled as far as average
 // behaviour allows.
 //
-// Quick start:
+// The API has three layers:
 //
-//	b := qos.NewGraphBuilder()
-//	b.AddAction("decode")
-//	b.AddAction("render")
-//	b.AddEdge("decode", "render")
-//	g, _ := b.Build()
-//	levels := qos.NewLevelRange(0, 3)
-//	// ... fill Cav/Cwc/D families ...
-//	sys, _ := qos.NewSystem(g, levels, cav, cwc, d)
-//	ctrl, _ := qos.NewController(sys)
-//	for !ctrl.Done() {
-//		d, _ := ctrl.Next()
-//		cost := run(d.Action, d.Level) // your action, your measurement
-//		ctrl.Completed(cost)
+//	SystemBuilder   one fluent place to declare the whole model
+//	Session         the per-stream run loop over one controller
+//	Runtime         a goroutine-safe server: one System, many Sessions
+//
+// Quick start — build a model, run one stream:
+//
+//	sys, err := qos.NewSystemBuilder().
+//		Levels(0, 3).
+//		Actions("decode", "render").
+//		Edge("decode", "render").
+//		TimeAll("decode", 40, 80).
+//		Time("render", 0, 10, 20).
+//		Time("render", 1, 20, 40).
+//		Time("render", 2, 40, 80).
+//		Time("render", 3, 80, 160).
+//		DeadlineAll("render", 300).
+//		Build()
+//	s, err := qos.NewSession(sys)
+//	for cycle := 0; cycle < n; cycle++ {
+//		s.Reset()
+//		res, err := s.RunFunc(func(a qos.ActionID, q qos.Level) qos.Cycles {
+//			return run(a, q) // your action, your measurement
+//		})
 //	}
+//
+// Models can also be loaded from the prototype tool's ".qos" text format
+// (levels / action / edge / time / deadline / iterate directives):
+//
+//	b, err := qos.LoadModel("app.qos")
+//	sys, err := b.Build()
+//
+// To serve many concurrent streams, share one System's precomputed
+// tables through a Runtime — sessions are pooled and cheap, and any
+// number of goroutines may acquire them:
+//
+//	rt, err := qos.NewRuntime(sys)
+//	go func() { // per stream
+//		s := rt.Acquire()
+//		defer rt.Release(s)
+//		res, err := s.Run(workload)
+//	}()
+//
+// Observer hooks (on-decision, on-fallback, on-completion) attach to
+// sessions for tracing, profiling (Recorder) and online learning of
+// average execution times (EWMA).
 //
 // The subpackages used by the benchmark harness (the MPEG-4 encoder
 // model, the synthetic video source, the camera/buffer pipeline) are
-// exposed through the helper functions at the bottom of this file.
+// exposed through the helper functions in harness.go. The previous
+// hand-wiring surface (NewGraphBuilder / NewSystem / NewController)
+// remains available in deprecated.go for one release; see README.md for
+// the migration table.
 package qos
 
 import (
 	"repro/internal/core"
-	"repro/internal/mpeg"
-	"repro/internal/pipeline"
 	"repro/internal/platform"
-	"repro/internal/sched"
-	"repro/internal/video"
+	"repro/internal/session"
+	"repro/internal/trace"
 )
 
 // Core model types.
@@ -49,8 +81,6 @@ type (
 	ActionID = core.ActionID
 	// Graph is an immutable precedence graph of actions.
 	Graph = core.Graph
-	// GraphBuilder accumulates actions and edges into a Graph.
-	GraphBuilder = core.GraphBuilder
 	// Cycles counts CPU cycles, the library's time unit.
 	Cycles = core.Cycles
 	// TimeFn maps actions to times (execution times or deadlines).
@@ -65,24 +95,19 @@ type (
 	Assignment = core.Assignment
 	// System is a parameterized real-time system (graph + families).
 	System = core.System
-	// Controller computes schedules and quality assignments online.
-	Controller = core.Controller
 	// Decision is one controller step: an action and its level.
 	Decision = core.Decision
 	// CycleResult summarises a controlled cycle.
 	CycleResult = core.CycleResult
+	// StepTrace records one executed action of a cycle.
+	StepTrace = core.StepTrace
+	// ControllerStats accumulates per-cycle controller behaviour.
+	ControllerStats = core.ControllerStats
 	// Mode selects hard or soft constraint enforcement.
 	Mode = core.Mode
-	// Option configures a Controller.
+	// Option configures a Program (controller mode, smoothness,
+	// tables, schedule, evaluator).
 	Option = core.Option
-	// Tables are precomputed constraint tables (the generated
-	// controller's fast path).
-	Tables = core.Tables
-	// IterativeTables is the constant-memory evaluator for n-fold
-	// iterated bodies with an end-of-cycle deadline.
-	IterativeTables = core.IterativeTables
-	// Evaluator is the admissibility oracle interface.
-	Evaluator = core.Evaluator
 )
 
 // Controller modes.
@@ -99,22 +124,89 @@ const Inf = core.Inf
 // Mcycle is one million cycles.
 const Mcycle = core.Mcycle
 
-// Core constructors and algorithms.
+// The three API layers.
+type (
+	// SystemBuilder accumulates actions, edges, levels, per-level
+	// times and deadlines in one fluent value and validates them as a
+	// whole; Build errors name the offending action and level.
+	SystemBuilder = session.SystemBuilder
+	// Session is the per-stream run loop over one controller: Next /
+	// Completed, Run(workload), Reset, and Observer hooks.
+	Session = session.Session
+	// SessionOption configures NewSession.
+	SessionOption = session.SessionOption
+	// Runtime is a goroutine-safe multi-stream server: one System's
+	// precomputed tables shared across any number of Sessions.
+	Runtime = session.Runtime
+	// RuntimeStats is a snapshot of a Runtime's served totals.
+	RuntimeStats = session.RuntimeStats
+	// Observer receives a session's control events (decision,
+	// fallback, completion).
+	Observer = session.Observer
+	// FuncObserver adapts plain functions to Observer.
+	FuncObserver = session.FuncObserver
+	// Program is the immutable precomputed half of a controller,
+	// shared by all sessions of a Runtime.
+	Program = core.Program
+	// Controller is the per-stream decision loop (advanced use; most
+	// callers drive a Session instead).
+	Controller = core.Controller
+)
+
 var (
-	// NewGraphBuilder returns an empty graph builder.
-	NewGraphBuilder = core.NewGraphBuilder
-	// NewLevelRange returns the LevelSet {lo..hi}.
-	NewLevelRange = core.NewLevelRange
-	// NewTimeFn returns a TimeFn of n actions initialised to v.
-	NewTimeFn = core.NewTimeFn
-	// NewTimeFamily allocates a family over levels for n actions.
-	NewTimeFamily = core.NewTimeFamily
-	// NewAssignment returns an assignment of n actions at level q.
-	NewAssignment = core.NewAssignment
-	// NewSystem assembles and validates a parameterized system.
-	NewSystem = core.NewSystem
-	// NewController builds the QoS controller for a system.
-	NewController = core.NewController
+	// NewSystemBuilder returns an empty fluent system builder.
+	NewSystemBuilder = session.NewSystemBuilder
+	// ParseModel reads the ".qos" text-model format into a builder.
+	ParseModel = session.ParseModel
+	// LoadModel reads a ".qos" model file into a builder.
+	LoadModel = session.LoadModel
+	// NewSession builds a stand-alone per-stream session.
+	NewSession = session.NewSession
+	// WithObserver attaches an observer to a session.
+	WithObserver = session.WithObserver
+	// WithControllerOptions forwards controller options to a
+	// stand-alone session.
+	WithControllerOptions = session.WithControllerOptions
+	// NewRuntime builds the multi-stream server for a system.
+	NewRuntime = session.NewRuntime
+	// NewRuntimeFromProgram serves an already-built program.
+	NewRuntimeFromProgram = session.NewRuntimeFromProgram
+	// NewProgram precomputes a system's shared controller state.
+	NewProgram = core.NewProgram
+	// RecorderObserver streams completed actions into a Recorder.
+	RecorderObserver = session.RecorderObserver
+	// EWMAObserver streams completed actions into an EWMA learner.
+	EWMAObserver = session.EWMAObserver
+)
+
+// Controller options (forwarded via WithControllerOptions, NewRuntime
+// or NewProgram).
+var (
+	// WithMode selects hard or soft control.
+	WithMode = core.WithMode
+	// WithMaxStep bounds upward quality jumps (smoothness).
+	WithMaxStep = core.WithMaxStep
+	// WithTables forces or forbids the precomputed-table fast path.
+	WithTables = core.WithTables
+	// WithSchedule fixes the schedule order.
+	WithSchedule = core.WithSchedule
+	// WithEvaluator installs a custom admissibility evaluator.
+	WithEvaluator = core.WithEvaluator
+)
+
+// Analysis and codegen-side types: schedules, tables, evaluators.
+type (
+	// Tables are precomputed constraint tables (the generated
+	// controller's fast path).
+	Tables = core.Tables
+	// IterativeTables is the constant-memory evaluator for n-fold
+	// iterated bodies with an end-of-cycle deadline.
+	IterativeTables = core.IterativeTables
+	// Evaluator is the admissibility oracle interface.
+	Evaluator = core.Evaluator
+)
+
+var (
 	// NewTables precomputes constraint tables along a schedule.
 	NewTables = core.NewTables
 	// NewIterativeTables builds the constant-memory evaluator.
@@ -127,16 +219,26 @@ var (
 	ModifiedDeadlines = core.ModifiedDeadlines
 	// Feasible tests min(D(α) − Ĉ(α)) >= 0.
 	Feasible = core.Feasible
-	// WithMode selects hard or soft control.
-	WithMode = core.WithMode
-	// WithMaxStep bounds upward quality jumps (smoothness).
-	WithMaxStep = core.WithMaxStep
-	// WithTables forces or forbids the precomputed-table fast path.
-	WithTables = core.WithTables
-	// WithSchedule fixes the schedule order.
-	WithSchedule = core.WithSchedule
-	// WithEvaluator installs a custom admissibility evaluator.
-	WithEvaluator = core.WithEvaluator
+)
+
+// Timing-analysis types: profiling and learning, the inputs to the
+// Cav/Cwc families and the sinks of the session observers.
+type (
+	// Recorder accumulates per-(action, level) execution samples.
+	Recorder = trace.Recorder
+	// Sample is one observed action execution.
+	Sample = trace.Sample
+	// EstimateConfig controls Recorder.Estimate.
+	EstimateConfig = trace.EstimateConfig
+	// EWMA learns average execution times online.
+	EWMA = trace.EWMA
+)
+
+var (
+	// NewRecorder allocates a sample recorder.
+	NewRecorder = trace.NewRecorder
+	// NewEWMA builds an online average-time learner.
+	NewEWMA = trace.NewEWMA
 )
 
 // Platform types: the simulated execution environment.
@@ -162,52 +264,4 @@ var (
 	NewExecutor = platform.NewExecutor
 	// NewRNG returns a seeded deterministic generator.
 	NewRNG = platform.NewRNG
-)
-
-// Benchmark-harness types: the MPEG-4 case study.
-type (
-	// VideoConfig parameterises the synthetic camera stream.
-	VideoConfig = video.Config
-	// VideoSource generates the benchmark frames.
-	VideoSource = video.Source
-	// Frame is one synthetic frame.
-	Frame = video.Frame
-	// MPEGEncoder is the controlled or constant-quality encoder model.
-	MPEGEncoder = mpeg.Encoder
-	// PipelineConfig selects the encoder and pipeline parameters.
-	PipelineConfig = pipeline.Config
-	// PipelineResult is a full benchmark run.
-	PipelineResult = pipeline.Result
-	// FrameRecord is the per-frame outcome of a pipeline run.
-	FrameRecord = pipeline.FrameRecord
-	// FramePolicy is a coarse-grain per-frame adaptation policy.
-	FramePolicy = sched.Policy
-	// EncoderOption configures the controlled MPEG encoder.
-	EncoderOption = mpeg.ControlledOption
-)
-
-var (
-	// DefaultVideoConfig is the paper's 582-frame benchmark shape.
-	DefaultVideoConfig = video.DefaultConfig
-	// NewVideoSource validates a config and builds the stream.
-	NewVideoSource = video.NewSource
-	// NewControlledEncoder builds the fine-grain controlled encoder.
-	NewControlledEncoder = mpeg.NewControlled
-	// NewConstantEncoder builds the constant-quality baseline.
-	NewConstantEncoder = mpeg.NewConstant
-	// RunPipeline simulates the camera/buffer/encoder pipeline.
-	RunPipeline = pipeline.Run
-	// MPEGBodyGraph returns the figure 2 macroblock graph.
-	MPEGBodyGraph = mpeg.BodyGraph
-	// MPEGLevels returns the quality level set {0..7}.
-	MPEGLevels = mpeg.Levels
-	// WithEncoderLearning enables online average-time learning in the
-	// controlled encoder (EWMA on observed action costs).
-	WithEncoderLearning = mpeg.WithLearning
-	// WithEncoderControllerOptions forwards controller options to the
-	// controlled encoder (mode, smoothness, ...).
-	WithEncoderControllerOptions = mpeg.WithControllerOptions
-	// WithEncoderPerMacroblockDeadlines enables the per-macroblock
-	// proportional deadline variant.
-	WithEncoderPerMacroblockDeadlines = mpeg.WithPerMacroblockDeadlines
 )
