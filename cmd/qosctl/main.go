@@ -2,8 +2,10 @@
 // textual model description (the prototype tool's input format: actions,
 // edges, levels, time tables, deadlines). It can show the model, check
 // schedulability, print the EDF schedule and the precomputed constraint
-// tables, and simulate controlled cycles under random load — one stream
-// or many concurrent streams served by one shared Runtime.
+// tables, simulate controlled cycles under random load — one stream or
+// many concurrent streams served by one shared Runtime — and size a
+// shared CPU budget: how many concurrent streams of the model one
+// budget can carry.
 //
 // Usage:
 //
@@ -13,11 +15,13 @@
 //	qosctl -model app.qos tables
 //	qosctl -model app.qos simulate -cycles 10 -seed 7 -load 0.5
 //	qosctl -model app.qos simulate -streams 8 -cycles 100
+//	qosctl -model app.qos capacity -budget 20000000
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sync"
 
@@ -25,67 +29,102 @@ import (
 	"repro/internal/codegen"
 )
 
-func main() {
-	var (
-		modelPath = flag.String("model", "", "path to the textual model file")
-		cycles    = flag.Int("cycles", 5, "simulate: number of cycles to run per stream")
-		seed      = flag.Uint64("seed", 1, "simulate: random seed")
-		load      = flag.Float64("load", 0.5, "simulate: load position in [0,1] between Cav and Cwc")
-		soft      = flag.Bool("soft", false, "simulate: soft mode (average constraint only)")
-		streams   = flag.Int("streams", 1, "simulate: concurrent streams served by one shared runtime")
-	)
-	flag.Parse()
-	args := flag.Args()
-	// Accept flags on either side of the subcommand (flag parsing
-	// stops at the first non-flag argument, so "simulate -streams 8"
-	// needs a second pass).
-	cmd := ""
-	if len(args) > 0 {
-		cmd = args[0]
-		if err := flag.CommandLine.Parse(args[1:]); err != nil {
-			os.Exit(2)
-		}
-	}
-	if *modelPath == "" || cmd == "" || flag.NArg() != 0 {
-		fmt.Fprintln(os.Stderr, "usage: qosctl -model <file> {show|check|schedule|tables|simulate}")
-		os.Exit(2)
-	}
-	if err := run(*modelPath, cmd, *cycles, *seed, *load, *soft, *streams); err != nil {
-		fmt.Fprintln(os.Stderr, "qosctl:", err)
-		os.Exit(1)
-	}
+const usageLine = "usage: qosctl -model <file> {show|check|schedule|tables|simulate|capacity}"
+
+// cliConfig is the parsed command line.
+type cliConfig struct {
+	modelPath string
+	cmd       string
+	cycles    int
+	seed      uint64
+	load      float64
+	soft      bool
+	streams   int
+	budget    int64
 }
 
-func run(modelPath, cmd string, cycles int, seed uint64, load float64, soft bool, streams int) error {
-	switch cmd {
+func main() {
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// realMain is the testable entry point: it parses argv (flags may
+// appear on either side of the subcommand), validates, runs, and
+// returns the process exit code. Bad usage exits 2 with the usage line
+// on stderr; runtime failures exit 1.
+func realMain(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("qosctl", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var cfg cliConfig
+	fs.StringVar(&cfg.modelPath, "model", "", "path to the textual model file")
+	fs.IntVar(&cfg.cycles, "cycles", 5, "simulate: number of cycles to run per stream")
+	fs.Uint64Var(&cfg.seed, "seed", 1, "simulate: random seed")
+	fs.Float64Var(&cfg.load, "load", 0.5, "simulate: load position in [0,1] between Cav and Cwc")
+	fs.BoolVar(&cfg.soft, "soft", false, "simulate: soft mode (average constraint only)")
+	fs.IntVar(&cfg.streams, "streams", 1, "simulate: concurrent streams served by one shared runtime")
+	fs.Int64Var(&cfg.budget, "budget", 0, "capacity: shared cycle budget per period")
+	usage := func() int {
+		fmt.Fprintln(stderr, usageLine)
+		return 2
+	}
+	if err := fs.Parse(argv); err != nil {
+		return usage()
+	}
+	// Flag parsing stops at the first non-flag argument, so flags after
+	// the subcommand ("simulate -streams 8") need a second pass.
+	if args := fs.Args(); len(args) > 0 {
+		cfg.cmd = args[0]
+		if err := fs.Parse(args[1:]); err != nil {
+			return usage()
+		}
+	}
+	if cfg.modelPath == "" || cfg.cmd == "" || fs.NArg() != 0 {
+		return usage()
+	}
+	if cfg.streams < 1 {
+		fmt.Fprintf(stderr, "qosctl: -streams %d: need at least one stream\n", cfg.streams)
+		return usage()
+	}
+	if cfg.cycles < 0 {
+		fmt.Fprintf(stderr, "qosctl: -cycles %d: must be non-negative\n", cfg.cycles)
+		return usage()
+	}
+	if err := run(cfg, stdout); err != nil {
+		fmt.Fprintln(stderr, "qosctl:", err)
+		return 1
+	}
+	return 0
+}
+
+func run(cfg cliConfig, out io.Writer) error {
+	switch cfg.cmd {
 	case "show":
-		sys, iterate, err := buildSystem(modelPath)
+		sys, iterate, err := buildSystem(cfg.modelPath)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("actions: %d  levels: %v  iterate: %d\n", sys.Graph.Len(), sys.Levels, iterate)
-		fmt.Print(sys.Graph.String())
+		fmt.Fprintf(out, "actions: %d  levels: %v  iterate: %d\n", sys.Graph.Len(), sys.Levels, iterate)
+		fmt.Fprint(out, sys.Graph.String())
 		return nil
 	case "check":
-		sys, _, err := buildSystem(modelPath)
+		sys, _, err := buildSystem(cfg.modelPath)
 		if err != nil {
 			return err
 		}
 		if !sys.FeasibleAtQmin() {
-			fmt.Println("INFEASIBLE: no schedule meets all deadlines at qmin under worst-case times")
+			fmt.Fprintln(out, "INFEASIBLE: no schedule meets all deadlines at qmin under worst-case times")
 			return nil
 		}
-		fmt.Println("feasible at qmin under worst-case times: hard control possible")
+		fmt.Fprintln(out, "feasible at qmin under worst-case times: hard control possible")
 		if sys.UniformDeadlines() {
-			fmt.Println("deadline order is quality-independent: precomputed tables available")
+			fmt.Fprintln(out, "deadline order is quality-independent: precomputed tables available")
 		} else {
-			fmt.Println("deadline order depends on quality: controller will use direct evaluation")
+			fmt.Fprintln(out, "deadline order depends on quality: controller will use direct evaluation")
 		}
 		return nil
 	case "schedule", "tables":
 		// The generation commands operate on the raw codegen model (they
 		// emit the prototype tool's artifacts, not a running system).
-		f, err := os.Open(modelPath)
+		f, err := os.Open(cfg.modelPath)
 		if err != nil {
 			return err
 		}
@@ -98,14 +137,16 @@ func run(modelPath, cmd string, cycles int, seed uint64, load float64, soft bool
 		if err != nil {
 			return err
 		}
-		if cmd == "schedule" {
-			return ar.WriteSchedule(os.Stdout)
+		if cfg.cmd == "schedule" {
+			return ar.WriteSchedule(out)
 		}
-		return ar.WriteTables(os.Stdout)
+		return ar.WriteTables(out)
 	case "simulate":
-		return simulate(modelPath, cycles, seed, load, soft, streams)
+		return simulate(cfg, out)
+	case "capacity":
+		return capacity(cfg, out)
 	default:
-		return fmt.Errorf("unknown command %q", cmd)
+		return fmt.Errorf("unknown command %q", cfg.cmd)
 	}
 }
 
@@ -123,6 +164,82 @@ func buildSystem(path string) (*qos.System, int, error) {
 	return sys, b.Iterations(), nil
 }
 
+// capacity binary-searches the maximal number of concurrent streams of
+// the model one shared cycle budget per period can carry: the largest N
+// for which N admissions still fit the aggregate worst-case qmin load.
+// The result is deterministic for a given model and budget.
+func capacity(cfg cliConfig, out io.Writer) error {
+	if cfg.budget <= 0 {
+		return fmt.Errorf("capacity: -budget %d: need a positive shared budget in cycles", cfg.budget)
+	}
+	sys, _, err := buildSystem(cfg.modelPath)
+	if err != nil {
+		return err
+	}
+	var opts []qos.Option
+	if cfg.soft {
+		opts = append(opts, qos.WithMode(qos.Soft))
+	}
+	prog, err := qos.NewProgram(sys, opts...)
+	if err != nil {
+		return err
+	}
+	spec, err := qos.StreamSpecFromProgram(prog)
+	if err != nil {
+		return err
+	}
+	total := qos.Cycles(cfg.budget)
+	admits := func(n int) bool {
+		if n == 0 {
+			return true
+		}
+		b, err := qos.NewSharedBudget(total, qos.FairShare)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if _, err := b.Admit(spec); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	// The mixer's own acceptance rule bounds the search space in O(1);
+	// binary-search the frontier within it against real trial
+	// admissions (admits is monotone in n). Past a sane serving scale
+	// the closed form alone is the answer — trial-admitting millions
+	// of grants would only burn memory to reconfirm it.
+	probe, err := qos.NewSharedBudget(total, qos.FairShare)
+	if err != nil {
+		return err
+	}
+	bound := probe.Headroom(spec)
+	const trialLimit = 1 << 16
+	capN := bound
+	if bound <= trialLimit {
+		lo, hi := 0, bound+1
+		for lo+1 < hi {
+			mid := lo + (hi-lo)/2
+			if admits(mid) {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		capN = lo
+	}
+	fmt.Fprintf(out, "model: %s\n", cfg.modelPath)
+	fmt.Fprintf(out, "per-stream: nominal=%v min-need(qmin)=%v full-need(qmax)=%v mode=%s\n",
+		spec.Nominal, spec.MinNeed, spec.FullNeed, prog.Mode())
+	fmt.Fprintf(out, "capacity: %d streams under shared budget %v per period\n", capN, total)
+	if capN > 0 {
+		perStream := total / qos.Cycles(capN)
+		fmt.Fprintf(out, "at capacity: %v per stream (fair); min need is %.1f%% of that share\n",
+			perStream, 100*float64(spec.MinNeed)/float64(perStream))
+	}
+	return nil
+}
+
 // streamResult aggregates one simulated stream.
 type streamResult struct {
 	elapsed qos.Cycles
@@ -132,8 +249,8 @@ type streamResult struct {
 	err     error
 }
 
-func simulate(modelPath string, cycles int, seed uint64, load float64, soft bool, streams int) error {
-	b, err := qos.LoadModel(modelPath)
+func simulate(cfg cliConfig, out io.Writer) error {
+	b, err := qos.LoadModel(cfg.modelPath)
 	if err != nil {
 		return err
 	}
@@ -142,11 +259,8 @@ func simulate(modelPath string, cycles int, seed uint64, load float64, soft bool
 		return err
 	}
 	var opts []qos.Option
-	if soft {
+	if cfg.soft {
 		opts = append(opts, qos.WithMode(qos.Soft))
-	}
-	if streams < 1 {
-		streams = 1
 	}
 	// One shared runtime serves every stream: the schedule and the
 	// constraint tables are computed once.
@@ -154,13 +268,14 @@ func simulate(modelPath string, cycles int, seed uint64, load float64, soft bool
 	if err != nil {
 		return err
 	}
+	streams, cycles := cfg.streams, cfg.cycles
 	results := make([]streamResult, streams)
 	var wg sync.WaitGroup
 	for st := 0; st < streams; st++ {
 		wg.Add(1)
 		go func(st int) {
 			defer wg.Done()
-			rng := qos.NewRNG(seed + uint64(st))
+			rng := qos.NewRNG(cfg.seed + uint64(st))
 			s := rt.Acquire()
 			defer rt.Release(s)
 			r := &results[st]
@@ -173,7 +288,7 @@ func simulate(modelPath string, cycles int, seed uint64, load float64, soft bool
 					if wc.IsInf() {
 						wc = av * 2
 					}
-					f := load * rng.Float64() * 2
+					f := cfg.load * rng.Float64() * 2
 					if f > 1 {
 						f = 1
 					}
@@ -199,11 +314,11 @@ func simulate(modelPath string, cycles int, seed uint64, load float64, soft bool
 		if r.err != nil {
 			return fmt.Errorf("stream %d: %w", st, r.err)
 		}
-		fmt.Printf("stream %2d: %d cycles, mean elapsed=%-10s meanQ=%.2f misses=%d fallbacks=%d\n",
+		fmt.Fprintf(out, "stream %2d: %d cycles, mean elapsed=%-10s meanQ=%.2f misses=%d fallbacks=%d\n",
 			st, cycles, r.elapsed, r.meanQ, r.misses, r.fallb)
 	}
 	agg := rt.Stats()
-	fmt.Printf("runtime: served %d cycles / %d actions across %d streams (misses=%d fallbacks=%d)\n",
+	fmt.Fprintf(out, "runtime: served %d cycles / %d actions across %d streams (misses=%d fallbacks=%d)\n",
 		agg.Cycles, agg.Actions, streams, agg.Misses, agg.Fallbacks)
 	return nil
 }

@@ -1,8 +1,10 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -26,10 +28,23 @@ func modelFile(t *testing.T) string {
 	return path
 }
 
+// cli runs realMain and returns (exit code, stdout, stderr).
+func cli(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := realMain(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func runCfg(cmd, path string) cliConfig {
+	return cliConfig{modelPath: path, cmd: cmd, cycles: 3, seed: 7, load: 0.5, streams: 1}
+}
+
 func TestRunCommands(t *testing.T) {
 	path := modelFile(t)
 	for _, cmd := range []string{"show", "check", "schedule", "tables"} {
-		if err := run(path, cmd, 0, 0, 0, false, 1); err != nil {
+		var out bytes.Buffer
+		if err := run(runCfg(cmd, path), &out); err != nil {
 			t.Errorf("%s: %v", cmd, err)
 		}
 	}
@@ -37,22 +52,24 @@ func TestRunCommands(t *testing.T) {
 
 func TestRunSimulate(t *testing.T) {
 	path := modelFile(t)
-	if err := run(path, "simulate", 3, 7, 0.5, false, 1); err != nil {
+	if err := run(runCfg("simulate", path), os.Stdout); err != nil {
 		t.Fatalf("simulate: %v", err)
 	}
-	if err := run(path, "simulate", 3, 7, 0.5, true, 1); err != nil {
+	soft := runCfg("simulate", path)
+	soft.soft = true
+	if err := run(soft, os.Stdout); err != nil {
 		t.Fatalf("simulate soft: %v", err)
 	}
 }
 
 func TestRunUnknownCommand(t *testing.T) {
-	if err := run(modelFile(t), "bogus", 0, 0, 0, false, 1); err == nil {
+	if err := run(runCfg("bogus", modelFile(t)), os.Stdout); err == nil {
 		t.Fatal("unknown command accepted")
 	}
 }
 
 func TestRunMissingFile(t *testing.T) {
-	if err := run("/nonexistent.qos", "show", 0, 0, 0, false, 1); err == nil {
+	if err := run(runCfg("show", "/nonexistent.qos"), os.Stdout); err == nil {
 		t.Fatal("missing file accepted")
 	}
 }
@@ -63,14 +80,123 @@ func TestRunMPEGBodyModel(t *testing.T) {
 		t.Skipf("model file unavailable: %v", err)
 	}
 	for _, cmd := range []string{"check", "schedule", "simulate"} {
-		if err := run(path, cmd, 2, 1, 0.4, false, 1); err != nil {
+		cfg := runCfg(cmd, path)
+		cfg.cycles = 2
+		cfg.load = 0.4
+		if err := run(cfg, os.Stdout); err != nil {
 			t.Errorf("%s: %v", cmd, err)
 		}
 	}
 }
 
 func TestRunSimulateConcurrentStreams(t *testing.T) {
-	if err := run(modelFile(t), "simulate", 20, 7, 0.5, false, 8); err != nil {
+	cfg := runCfg("simulate", modelFile(t))
+	cfg.cycles = 20
+	cfg.streams = 8
+	if err := run(cfg, os.Stdout); err != nil {
 		t.Fatalf("simulate -streams 8: %v", err)
+	}
+}
+
+// --- CLI-level behaviour: flag placement, validation, exit codes ---
+
+func TestCLIFlagsOnEitherSideOfSubcommand(t *testing.T) {
+	path := modelFile(t)
+	for _, args := range [][]string{
+		{"-model", path, "-cycles", "2", "simulate"},
+		{"-model", path, "simulate", "-cycles", "2"},
+		{"simulate", "-model", path, "-cycles", "2"},
+		{"-model", path, "simulate", "-streams", "3", "-seed", "9"},
+	} {
+		code, out, errOut := cli(t, args...)
+		if code != 0 {
+			t.Errorf("args %v: exit %d, stderr %q", args, code, errOut)
+		}
+		if !strings.Contains(out, "runtime: served") {
+			t.Errorf("args %v: missing simulate output, got %q", args, out)
+		}
+	}
+}
+
+func TestCLIBadUsageExitsNonZero(t *testing.T) {
+	path := modelFile(t)
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"no args", nil},
+		{"no subcommand", []string{"-model", path}},
+		{"no model", []string{"simulate"}},
+		{"trailing junk", []string{"-model", path, "simulate", "extra"}},
+		{"unknown flag", []string{"-model", path, "simulate", "-bogus"}},
+		{"streams zero", []string{"-model", path, "simulate", "-streams", "0"}},
+		{"streams negative", []string{"-model", path, "-streams", "-3", "simulate"}},
+		{"cycles negative", []string{"-model", path, "simulate", "-cycles", "-1"}},
+	}
+	for _, tc := range cases {
+		code, _, errOut := cli(t, tc.args...)
+		if code != 2 {
+			t.Errorf("%s: exit %d, want 2 (stderr %q)", tc.name, code, errOut)
+		}
+		if !strings.Contains(errOut, "usage:") {
+			t.Errorf("%s: stderr %q does not show usage", tc.name, errOut)
+		}
+	}
+}
+
+func TestCLIUnknownSubcommandExitsOne(t *testing.T) {
+	code, _, errOut := cli(t, "-model", modelFile(t), "frobnicate")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errOut, "unknown command") {
+		t.Fatalf("stderr %q", errOut)
+	}
+}
+
+func TestCLICapacity(t *testing.T) {
+	path := modelFile(t)
+	// The toy model: D=200, Cwc qmin = 20+20 → MinNeed 40 → 5 streams
+	// fit in a 200-cycle shared budget.
+	code, out, errOut := cli(t, "-model", path, "capacity", "-budget", "200")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut)
+	}
+	if !strings.Contains(out, "capacity: 5 streams") {
+		t.Fatalf("capacity output %q", out)
+	}
+	// Deterministic: identical invocations print identical reports.
+	_, out2, _ := cli(t, "-model", path, "capacity", "-budget", "200")
+	if out != out2 {
+		t.Fatalf("capacity not deterministic:\n%q\nvs\n%q", out, out2)
+	}
+}
+
+func TestCLICapacityRequiresBudget(t *testing.T) {
+	code, _, errOut := cli(t, "-model", modelFile(t), "capacity")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr %q)", code, errOut)
+	}
+	if !strings.Contains(errOut, "-budget") {
+		t.Fatalf("stderr %q does not mention -budget", errOut)
+	}
+}
+
+func TestCLICapacityMPEGBody(t *testing.T) {
+	path := filepath.Join("..", "..", "examples", "models", "mpeg_body.qos")
+	if _, err := os.Stat(path); err != nil {
+		t.Skipf("model file unavailable: %v", err)
+	}
+	// 8 × the generated model's 2.5 Mcycle budget.
+	code, out, errOut := cli(t, "-model", path, "capacity", "-budget", "20000000")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut)
+	}
+	_, out2, _ := cli(t, "-model", path, "capacity", "-budget", "20000000")
+	if out != out2 {
+		t.Fatal("capacity on mpeg_body.qos not deterministic")
+	}
+	if !strings.Contains(out, "capacity: ") || strings.Contains(out, "capacity: 0 streams") {
+		t.Fatalf("capacity output %q", out)
 	}
 }

@@ -23,11 +23,12 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// The two variants are independent streams; run them concurrently.
+	// The two variants are independent streams; run them concurrently
+	// (nil shared budget: each assumes the whole CPU).
 	results, err := qos.RunPipelineStreams([]qos.PipelineConfig{
 		{Source: src, K: 1, Controlled: true, Seed: 1},
 		{Source: src, K: 1, ConstQ: 3, Seed: 1},
-	})
+	}, nil)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,137 @@
+// Multistream: 16 concurrent MPEG macroblock streams served under ONE
+// shared CPU budget. One Runtime shares the precomputed program; a
+// SharedBudget (the mixer) splits the global cycle budget per period
+// across the admitted streams. The demo runs two phases:
+//
+//  1. all 16 streams admitted — each gets a slice of the budget and
+//     settles at a reduced quality level, with zero deadline misses;
+//  2. half the streams release their grants — the mixer re-partitions
+//     the freed slack at the next cycle boundaries and the survivors'
+//     quality climbs.
+//
+// Run from the repository root:
+//
+//	go run ./examples/multistream
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sync"
+
+	qos "repro"
+)
+
+func main() {
+	modelPath := flag.String("model", "examples/models/mpeg_body.qos", "path to the .qos model")
+	streams := flag.Int("streams", 16, "concurrent streams under the shared budget")
+	cycles := flag.Int("cycles", 200, "cycles per stream and phase")
+	flag.Parse()
+
+	b, err := qos.LoadModel(*modelPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	rt, err := qos.NewRuntime(sys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec, err := qos.StreamSpecFromProgram(rt.Program())
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Budget the period between the admission floor (every stream at
+	// qmin) and full quality — 30% of the way up: the mixer has real
+	// arbitration to do.
+	perStream := spec.MinNeed + (spec.FullNeed-spec.MinNeed)*3/10
+	total := perStream * qos.Cycles(*streams)
+	shared, err := qos.NewSharedBudget(total, qos.FairShare)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model %s: nominal=%v min-need=%v full-need=%v\n",
+		*modelPath, spec.Nominal, spec.MinNeed, spec.FullNeed)
+	fmt.Printf("shared budget %v per period across %d streams (policy %s)\n\n",
+		total, *streams, shared.Policy())
+
+	grants := make([]*qos.StreamGrant, *streams)
+	for i := range grants {
+		if grants[i], err = shared.Admit(spec); err != nil {
+			log.Fatalf("stream %d rejected: %v", i, err)
+		}
+	}
+	st := shared.Stats()
+	fmt.Printf("admitted %d/%d streams: committed %v, slack %v, degraded=%v\n",
+		st.Streams, *streams, st.Committed, st.Slack, st.Degraded)
+
+	phase := func(name string, active int) {
+		type agg struct {
+			meanQ     float64
+			misses    int
+			fallbacks int
+		}
+		results := make([]agg, active)
+		var wg sync.WaitGroup
+		for i := 0; i < active; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				rng := qos.NewRNG(uint64(i + 1))
+				s := rt.AcquireBudgeted(grants[i])
+				defer rt.Release(s)
+				var qSum float64
+				for c := 0; c < *cycles; c++ {
+					s.Reset()
+					res, err := s.RunFunc(func(a qos.ActionID, q qos.Level) qos.Cycles {
+						av := sys.Cav.At(q, a)
+						wc := sys.Cwc.At(q, a)
+						if wc.IsInf() {
+							wc = av * 2
+						}
+						// Respect the execution contract C ≤ Cwc: hard
+						// deadlines must therefore never miss.
+						return av + qos.Cycles(rng.Float64()*float64(wc-av)/4)
+					})
+					if err != nil {
+						log.Fatal(err)
+					}
+					qSum += res.MeanLevel()
+					results[i].misses += res.Misses
+					results[i].fallbacks += res.Fallbacks
+				}
+				results[i].meanQ = qSum / float64(*cycles)
+			}(i)
+		}
+		wg.Wait()
+		var q float64
+		var misses, fallbacks int
+		for _, r := range results {
+			q += r.meanQ
+			misses += r.misses
+			fallbacks += r.fallbacks
+		}
+		share := grants[0].Share()
+		fmt.Printf("%-22s: %2d streams × %d cycles, share=%v/stream, mean level %.2f, misses=%d fallbacks=%d\n",
+			name, active, *cycles, share, q/float64(active), misses, fallbacks)
+	}
+
+	phase("phase 1 (all streams)", *streams)
+
+	// Half the tenants leave; their slack flows to the survivors.
+	for i := *streams / 2; i < *streams; i++ {
+		grants[i].Release()
+	}
+	phase("phase 2 (half released)", *streams/2)
+
+	agg := rt.Stats()
+	fmt.Printf("\nruntime served %d cycles / %d actions (misses=%d)\n",
+		agg.Cycles, agg.Actions, agg.Misses)
+	for i := 0; i < *streams/2; i++ {
+		grants[i].Release()
+	}
+}

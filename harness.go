@@ -42,7 +42,10 @@ var (
 	// RunPipeline simulates the camera/buffer/encoder pipeline.
 	RunPipeline = pipeline.Run
 	// RunPipelineStreams simulates several pipelines concurrently, one
-	// goroutine per stream.
+	// goroutine per stream. The second argument is the shared CPU
+	// budget all streams are admitted against (a *SharedBudget); pass
+	// nil to run the streams independently, each assuming the whole
+	// machine (the pre-mixer behaviour).
 	RunPipelineStreams = pipeline.RunStreams
 	// MPEGBodyGraph returns the figure 2 macroblock graph.
 	MPEGBodyGraph = mpeg.BodyGraph

@@ -65,13 +65,16 @@ func WithEvaluator(ev Evaluator, order []ActionID) Option {
 func boolPtr(b bool) *bool { return &b }
 
 // Decision is the controller's choice for one step: run Action at quality
-// Level. Fallback is set when no level satisfied the constraints (the
-// environment exceeded its worst-case contract) and the controller
-// degraded to qmin.
+// Level. LevelIndex is Level's position in the system's ordered level
+// set — the value quality accounting should use, since level *values*
+// need not be contiguous (a set {0, 2, 5} is legal). Fallback is set
+// when no level satisfied the constraints (the environment exceeded its
+// worst-case contract) and the controller degraded to qmin.
 type Decision struct {
-	Action   ActionID
-	Level    Level
-	Fallback bool
+	Action     ActionID
+	Level      Level
+	LevelIndex int
+	Fallback   bool
 }
 
 // Program is the immutable, precomputed part of a controller: the
@@ -187,7 +190,7 @@ type Controller struct {
 	tail  Level      // implicit level of all unexecuted positions
 	i     int
 	t     Cycles
-	last  Level
+	last  int // level *index* of the previous sustained decision; -1 = none
 	stats ControllerStats
 }
 
@@ -195,7 +198,7 @@ type Controller struct {
 type ControllerStats struct {
 	Decisions     int   // calls to Next
 	Fallbacks     int   // decisions where no level was admissible
-	LevelSum      int64 // sum of chosen levels (for mean quality)
+	LevelSum      int64 // sum of chosen level *indexes* (for mean quality)
 	LevelChanges  int   // decisions that changed level vs previous action
 	CandidateEval int   // quality-constraint evaluations performed
 }
@@ -327,7 +330,7 @@ func (c *Controller) Next() (Decision, error) {
 	levels := c.prog.sys.Levels
 	hi := len(levels) - 1
 	if c.prog.maxStep > 0 && c.last >= 0 {
-		if lim := levels.Index(c.last) + c.prog.maxStep; lim < hi {
+		if lim := c.last + c.prog.maxStep; lim < hi {
 			hi = lim
 		}
 	}
@@ -367,11 +370,20 @@ func (c *Controller) Next() (Decision, error) {
 	c.tail = q
 	d.Action = c.alpha[c.i]
 	d.Level = q
-	if c.last >= 0 && q != c.last {
+	d.LevelIndex = chosen
+	if c.last >= 0 && chosen != c.last {
 		c.stats.LevelChanges++
 	}
-	c.last = q
-	c.stats.LevelSum += int64(q)
+	if d.Fallback {
+		// A forced fallback is not a level the controller chose or
+		// sustained: reset the smoothness baseline so the recovery is
+		// not rate-limited (WithMaxStep) from qmin, exactly as at cycle
+		// start.
+		c.last = -1
+	} else {
+		c.last = chosen
+	}
+	c.stats.LevelSum += int64(chosen)
 	return d, nil
 }
 
@@ -409,6 +421,18 @@ func (c *Controller) Completed(actual Cycles) {
 	}
 	c.t = c.t.AddSat(actual)
 	c.i++
+}
+
+// Preempt advances the controller's elapsed-time view by dt cycles
+// without completing an action: CPU time consumed outside this stream —
+// other streams sharing the processor under a mixer budget share, or
+// any platform preemption. All subsequent admissibility tests see the
+// shrunk remaining time, so quality degrades (and, in Hard mode,
+// deadlines stay safe) exactly as if the cycle had started late.
+func (c *Controller) Preempt(dt Cycles) {
+	if dt > 0 {
+		c.t = c.t.AddSat(dt)
+	}
 }
 
 // CycleDriver is the decision-loop surface RunCycleWith drives: a
@@ -451,7 +475,8 @@ func RunCycleWith(c CycleDriver, exec func(ActionID, Level) Cycles) (CycleResult
 			res.Fallbacks++
 		}
 		res.Trace = append(res.Trace, StepTrace{
-			Action: d.Action, Level: d.Level, Actual: actual, Finish: c.Elapsed(),
+			Action: d.Action, Level: d.Level, LevelIndex: d.LevelIndex,
+			Actual: actual, Finish: c.Elapsed(),
 		})
 	}
 	res.Elapsed = c.Elapsed()
@@ -466,12 +491,14 @@ func (c *Controller) RunCycle(exec func(ActionID, Level) Cycles) (CycleResult, e
 	return RunCycleWith(c, exec)
 }
 
-// StepTrace records one executed action.
+// StepTrace records one executed action. LevelIndex is the position of
+// Level in the system's ordered level set.
 type StepTrace struct {
-	Action ActionID
-	Level  Level
-	Actual Cycles
-	Finish Cycles
+	Action     ActionID
+	Level      Level
+	LevelIndex int
+	Actual     Cycles
+	Finish     Cycles
 }
 
 // CycleResult summarises one controlled cycle.
@@ -485,14 +512,18 @@ type CycleResult struct {
 	Stats      ControllerStats
 }
 
-// MeanLevel returns the mean chosen quality level over the cycle.
+// MeanLevel returns the mean chosen quality over the cycle, measured in
+// level *indexes* (0 = qmin). With non-contiguous level sets the raw
+// level values would overstate quality and disagree with the index
+// arithmetic of the controller's candidate loop; indexes keep the
+// average comparable across systems.
 func (r CycleResult) MeanLevel() float64 {
 	if len(r.Trace) == 0 {
 		return 0
 	}
 	var s int64
 	for _, st := range r.Trace {
-		s += int64(st.Level)
+		s += int64(st.LevelIndex)
 	}
 	return float64(s) / float64(len(r.Trace))
 }

@@ -1,0 +1,440 @@
+// Package mixer is the shared-budget controller above the streams: where
+// a core.Controller arbitrates quality levels of one stream against one
+// cycle budget, the mixer arbitrates N concurrent streams against one
+// global CPU budget per period. It lifts the paper's admissibility
+// reasoning one level up — a stream is admitted only if the aggregate
+// worst-case load at minimal quality still fits the budget (the global
+// Qual_Const^wc), and the slack left over is re-partitioned between the
+// admitted streams at cycle boundaries to maximise quality (the global
+// Qual_Const^av side), under a pluggable sharing policy.
+//
+// The mechanism that makes a share enforceable without rebuilding any
+// per-stream tables: a stream granted b of its nominal budget B starts
+// each cycle with its elapsed-time view advanced by B − b
+// (Controller.Preempt) — the cycles the other streams consume. Every
+// admissibility test the stream's Quality Manager performs then sees the
+// shrunk remaining time, so quality degrades (and hard deadlines stay
+// safe, by Proposition 2.1) exactly as if the cycle had started late.
+//
+// Degradation is a two-step ladder: when the aggregate *full-quality*
+// load exceeds the budget, shares shrink toward each stream's minimal
+// worst-case need — per-stream qmin; when even the aggregate qmin load
+// would exceed the budget, admission is rejected (ErrBudgetExhausted).
+package mixer
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Policy selects how the mixer re-partitions slack between streams.
+type Policy int
+
+const (
+	// Fair splits slack equally between the admitted streams
+	// (water-filling: a stream capped at its nominal budget returns the
+	// unused remainder to the others).
+	Fair Policy = iota
+	// Weighted splits slack proportionally to each grant's weight.
+	Weighted
+	// Greedy maximises the aggregate quality level: it fills the
+	// streams that are cheapest to lift to their full-quality need
+	// first, then spreads any remainder in admission order.
+	Greedy
+)
+
+func (p Policy) String() string {
+	switch p {
+	case Fair:
+		return "fair"
+	case Weighted:
+		return "weighted"
+	case Greedy:
+		return "greedy"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// ErrBudgetExhausted is returned by Admit when the aggregate worst-case
+// load at minimal quality would exceed the shared budget: even with
+// every stream degraded to qmin the period cannot absorb another
+// stream, so the admission is rejected rather than the guarantees
+// silently broken.
+var ErrBudgetExhausted = errors.New("mixer: aggregate worst-case load exceeds the shared budget")
+
+// StreamSpec is the admission contract of one stream — the three points
+// of its quality/budget curve the mixer reasons about, all in cycles
+// per period.
+type StreamSpec struct {
+	// Nominal is the stream's stand-alone cycle budget: the horizon its
+	// deadline family was built for (its period). A share equal to
+	// Nominal reproduces exact single-stream behaviour.
+	Nominal core.Cycles
+	// MinNeed is the worst-case load at minimal quality: the smallest
+	// share under which the stream's Quality Manager still guarantees
+	// its hard deadlines (and never falls back). Admission reserves
+	// MinNeed unconditionally.
+	MinNeed core.Cycles
+	// FullNeed is the share at which the stream can open its cycle at
+	// the top quality level; slack granted beyond it buys nothing until
+	// the share reaches Nominal. MinNeed ≤ FullNeed ≤ Nominal.
+	FullNeed core.Cycles
+	// Weight biases the Weighted policy; zero means 1.
+	Weight float64
+}
+
+// Validate checks the spec's internal consistency.
+func (s StreamSpec) Validate() error {
+	if s.MinNeed <= 0 || s.MinNeed.IsInf() {
+		return fmt.Errorf("mixer: MinNeed %v must be positive and finite", s.MinNeed)
+	}
+	if s.Nominal < s.MinNeed || s.Nominal.IsInf() {
+		return fmt.Errorf("mixer: Nominal %v must be finite and at least MinNeed %v", s.Nominal, s.MinNeed)
+	}
+	if s.FullNeed < s.MinNeed || s.FullNeed > s.Nominal {
+		return fmt.Errorf("mixer: FullNeed %v outside [MinNeed %v, Nominal %v]", s.FullNeed, s.MinNeed, s.Nominal)
+	}
+	if s.Weight < 0 {
+		return fmt.Errorf("mixer: negative weight %v", s.Weight)
+	}
+	return nil
+}
+
+// Budget is the goroutine-safe shared-budget controller: one global
+// cycle budget per period, split across the admitted streams. All
+// methods may be called from any goroutine; Grant reads are cheap
+// (one mutex acquisition, no recomputation).
+type Budget struct {
+	mu        sync.Mutex
+	total     core.Cycles
+	policy    Policy
+	grants    []*Grant    // admission order; shares valid for the coming cycle
+	committed core.Cycles // running Σ MinNeed of the admitted grants
+	// dirty defers the share re-partition to the next read (Share,
+	// CycleDelay, Stats): admissions and releases stay O(1), so
+	// admitting N streams in a burst costs O(N), not O(N²).
+	dirty bool
+}
+
+// New builds a shared budget of total cycles per period under the given
+// sharing policy.
+func New(total core.Cycles, policy Policy) (*Budget, error) {
+	if total <= 0 || total.IsInf() {
+		return nil, fmt.Errorf("mixer: total budget %v must be positive and finite", total)
+	}
+	if policy < Fair || policy > Greedy {
+		return nil, fmt.Errorf("mixer: unknown policy %d", int(policy))
+	}
+	return &Budget{total: total, policy: policy}, nil
+}
+
+// Policy returns the sharing policy.
+func (b *Budget) Policy() Policy { return b.policy }
+
+// Total returns the global cycle budget per period.
+func (b *Budget) Total() core.Cycles {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.total
+}
+
+// SetTotal re-targets the global budget between periods (e.g. a DVFS
+// change or a co-tenant arriving) and re-partitions the shares. It
+// fails if the admitted streams' aggregate minimal need no longer fits:
+// the mixer never revokes an admission implicitly.
+func (b *Budget) SetTotal(total core.Cycles) error {
+	if total <= 0 || total.IsInf() {
+		return fmt.Errorf("mixer: total budget %v must be positive and finite", total)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.committed > total {
+		return fmt.Errorf("%w: %d admitted streams need %v, new total %v",
+			ErrBudgetExhausted, len(b.grants), b.committed, total)
+	}
+	b.total = total
+	b.dirty = true
+	return nil
+}
+
+// Admit reserves worst-case capacity for one stream and returns its
+// Grant. Admission succeeds iff the aggregate minimal worst-case need —
+// every stream degraded to qmin — still fits the budget; otherwise
+// ErrBudgetExhausted is returned and the budget is unchanged. On
+// success every admitted stream's share is re-partitioned.
+func (b *Budget) Admit(spec StreamSpec) (*Grant, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.Weight == 0 {
+		spec.Weight = 1
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if committed := b.committed.AddSat(spec.MinNeed); committed > b.total {
+		return nil, fmt.Errorf("%w: %d streams would need %v of %v",
+			ErrBudgetExhausted, len(b.grants)+1, committed, b.total)
+	}
+	g := &Grant{b: b, spec: spec}
+	b.grants = append(b.grants, g)
+	b.committed = b.committed.AddSat(spec.MinNeed)
+	b.dirty = true
+	return g, nil
+}
+
+// Headroom returns how many more streams of the given spec the budget
+// could admit right now — the closed form of Admit's acceptance rule,
+// without allocating grants. Zero for an invalid spec.
+func (b *Budget) Headroom(spec StreamSpec) int {
+	if spec.Validate() != nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.committed >= b.total {
+		return 0
+	}
+	return int((b.total - b.committed) / spec.MinNeed)
+}
+
+// Rebalance forces an immediate re-partition. Admit, Release, SetTotal
+// and SetWeight already schedule one for the next share read, so this
+// is only needed to pay the cost eagerly.
+func (b *Budget) Rebalance() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.repartition()
+	b.dirty = false
+}
+
+// ensureShares re-partitions if membership, weights or the total
+// changed since the last read. Callers hold b.mu.
+func (b *Budget) ensureShares() {
+	if b.dirty {
+		b.repartition()
+		b.dirty = false
+	}
+}
+
+// Stats is a snapshot of the shared budget.
+type Stats struct {
+	Policy  Policy
+	Streams int
+	// Total is the global budget; Committed the aggregate minimal
+	// worst-case need of the admitted streams; Slack their difference;
+	// Granted the aggregate share actually handed out (Committed ≤
+	// Granted ≤ Total).
+	Total, Committed, Slack, Granted core.Cycles
+	// Degraded reports that at least one stream is pinned at its
+	// minimal share (per-stream qmin): the aggregate full-quality load
+	// exceeds the budget.
+	Degraded bool
+}
+
+// Stats returns a snapshot of the shared budget.
+func (b *Budget) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.ensureShares()
+	st := Stats{Policy: b.policy, Streams: len(b.grants), Total: b.total, Committed: b.committed}
+	for _, g := range b.grants {
+		st.Granted = st.Granted.AddSat(g.share)
+		if g.share == g.spec.MinNeed && g.spec.FullNeed > g.spec.MinNeed {
+			st.Degraded = true
+		}
+	}
+	st.Slack = st.Total - st.Committed
+	return st
+}
+
+// repartition recomputes every grant's share for the coming cycle.
+// Callers hold b.mu. Shares start at each stream's minimal need; the
+// remaining slack is distributed under the policy, capped per stream at
+// its nominal budget. The computation is deterministic: ties and
+// remainders resolve in admission order.
+func (b *Budget) repartition() {
+	n := len(b.grants)
+	if n == 0 {
+		return
+	}
+	slack := b.total
+	for _, g := range b.grants {
+		g.share = g.spec.MinNeed
+		slack -= g.spec.MinNeed
+	}
+	if slack <= 0 {
+		return
+	}
+	switch b.policy {
+	case Weighted:
+		slack = b.waterFill(slack, func(g *Grant) core.Cycles { return g.spec.Nominal }, true)
+	case Greedy:
+		// First lift the cheapest streams to full quality…
+		order := make([]*Grant, n)
+		copy(order, b.grants)
+		sort.SliceStable(order, func(i, j int) bool {
+			return order[i].spec.FullNeed-order[i].spec.MinNeed < order[j].spec.FullNeed-order[j].spec.MinNeed
+		})
+		for _, g := range order {
+			if slack <= 0 {
+				break
+			}
+			give := g.spec.FullNeed - g.share
+			if give > slack {
+				give = slack
+			}
+			g.share += give
+			slack -= give
+		}
+		// …then spread what remains toward nominal, admission order.
+		for _, g := range b.grants {
+			if slack <= 0 {
+				break
+			}
+			give := g.spec.Nominal - g.share
+			if give > slack {
+				give = slack
+			}
+			g.share += give
+			slack -= give
+		}
+	default: // Fair
+		slack = b.waterFill(slack, func(g *Grant) core.Cycles { return g.spec.Nominal }, false)
+	}
+}
+
+// waterFill distributes slack across the grants proportionally to their
+// weights (or equally when weighted is false), capping each share at
+// cap(g) and re-offering a capped stream's remainder to the rest. It
+// returns the slack left when every stream is capped. Remainder cycles
+// from integer division go to the earliest-admitted uncapped streams.
+func (b *Budget) waterFill(slack core.Cycles, cap func(*Grant) core.Cycles, weighted bool) core.Cycles {
+	for slack > 0 {
+		var open []*Grant
+		var wsum float64
+		for _, g := range b.grants {
+			if g.share < cap(g) {
+				open = append(open, g)
+				wsum += g.spec.Weight
+			}
+		}
+		if len(open) == 0 || wsum <= 0 {
+			return slack
+		}
+		given := core.Cycles(0)
+		for _, g := range open {
+			frac := 1 / float64(len(open))
+			if weighted {
+				frac = g.spec.Weight / wsum
+			}
+			give := core.Cycles(float64(slack) * frac)
+			if max := cap(g) - g.share; give > max {
+				give = max
+			}
+			g.share += give
+			given += give
+		}
+		if given == 0 {
+			// Integer-division dust: hand single cycles out in
+			// admission order until spent or everyone is capped.
+			for _, g := range open {
+				if slack == 0 {
+					break
+				}
+				if g.share < cap(g) {
+					g.share++
+					given++
+					slack--
+				}
+			}
+			if given == 0 {
+				return slack
+			}
+			continue
+		}
+		slack -= given
+	}
+	return 0
+}
+
+// release removes g; the survivors' shares re-partition at their next
+// read.
+func (b *Budget) release(g *Grant) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i, h := range b.grants {
+		if h == g {
+			b.grants = append(b.grants[:i], b.grants[i+1:]...)
+			b.committed -= g.spec.MinNeed
+			b.dirty = true
+			return
+		}
+	}
+}
+
+// Grant is one admitted stream's handle on the shared budget. A Grant
+// is safe for concurrent use; the stream typically reads CycleDelay at
+// each cycle boundary (session.Runtime.AcquireBudgeted wires this up).
+type Grant struct {
+	b        *Budget
+	spec     StreamSpec
+	share    core.Cycles // guarded by b.mu
+	released bool        // guarded by b.mu
+}
+
+// Spec returns the admission contract.
+func (g *Grant) Spec() StreamSpec {
+	g.b.mu.Lock()
+	defer g.b.mu.Unlock()
+	return g.spec
+}
+
+// Share returns the stream's cycle share for the coming period,
+// MinNeed ≤ share ≤ Nominal.
+func (g *Grant) Share() core.Cycles {
+	g.b.mu.Lock()
+	defer g.b.mu.Unlock()
+	g.b.ensureShares()
+	return g.share
+}
+
+// CycleDelay returns Nominal − Share: the elapsed-time handicap to
+// charge the stream's controller at cycle start (see the package
+// comment). It implements session.BudgetSource.
+func (g *Grant) CycleDelay() core.Cycles {
+	g.b.mu.Lock()
+	defer g.b.mu.Unlock()
+	g.b.ensureShares()
+	return g.spec.Nominal - g.share
+}
+
+// SetWeight changes the stream's Weighted-policy bias; shares
+// re-partition at the next read. Non-positive weights are rejected
+// silently (the previous weight stays).
+func (g *Grant) SetWeight(w float64) {
+	if w <= 0 {
+		return
+	}
+	g.b.mu.Lock()
+	defer g.b.mu.Unlock()
+	g.spec.Weight = w
+	g.b.dirty = true
+}
+
+// Release returns the stream's reservation to the budget and
+// re-partitions the surviving shares. Release is idempotent.
+func (g *Grant) Release() {
+	g.b.mu.Lock()
+	if g.released {
+		g.b.mu.Unlock()
+		return
+	}
+	g.released = true
+	g.b.mu.Unlock()
+	g.b.release(g)
+}

@@ -1,0 +1,139 @@
+package mixer
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// specSystem builds the hand-computed two-action chain a → b:
+//
+//	levels {0,1}; Cav/Cwc per action: q0 10/10, q1 20/50
+//	D(a) = Inf, D(b) = 100 at both levels
+//
+// Tables along [a, b]:
+//
+//	WcQminSlack = [80, 90, Inf]
+//	SlackAv[q0][0] = 80   SlackWc[q0][0] = 80
+//	SlackAv[q1][0] = 60   SlackWc[q1][0] = min(Inf, 90) − 50 = 40
+func specSystem(t *testing.T) *core.System {
+	t.Helper()
+	b := core.NewGraphBuilder()
+	b.AddAction("a")
+	b.AddAction("b")
+	b.AddEdge("a", "b")
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels := core.NewLevelRange(0, 1)
+	cav := core.NewTimeFamily(levels, 2, 0)
+	cwc := core.NewTimeFamily(levels, 2, 0)
+	d := core.NewTimeFamily(levels, 2, core.Inf)
+	for a := core.ActionID(0); a < 2; a++ {
+		cav.Set(0, a, 10)
+		cwc.Set(0, a, 10)
+		cav.Set(1, a, 20)
+		cwc.Set(1, a, 50)
+	}
+	d.Set(0, 1, 100)
+	d.Set(1, 1, 100)
+	sys, err := core.NewSystem(g, levels, cav, cwc, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestSpecFromProgramHard(t *testing.T) {
+	prog, err := core.NewProgram(specSystem(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := SpecFromProgram(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := StreamSpec{Nominal: 100, MinNeed: 20, FullNeed: 60}
+	if spec != want {
+		t.Fatalf("hard spec = %+v, want %+v", spec, want)
+	}
+}
+
+func TestSpecFromProgramSoft(t *testing.T) {
+	prog, err := core.NewProgram(specSystem(t), core.WithMode(core.Soft))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := SpecFromProgram(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Soft mode ignores the worst-case slack: full quality is already
+	// admissible at 100 − SlackAv[q1][0] = 40.
+	want := StreamSpec{Nominal: 100, MinNeed: 20, FullNeed: 40}
+	if spec != want {
+		t.Fatalf("soft spec = %+v, want %+v", spec, want)
+	}
+}
+
+func TestSpecFromProgramNoDeadline(t *testing.T) {
+	b := core.NewGraphBuilder()
+	b.AddAction("a")
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels := core.NewLevelRange(0, 0)
+	cav := core.NewTimeFamily(levels, 1, 1)
+	cwc := core.NewTimeFamily(levels, 1, 1)
+	d := core.NewTimeFamily(levels, 1, core.Inf)
+	sys, err := core.NewSystem(g, levels, cav, cwc, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := core.NewProgram(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SpecFromProgram(prog); err == nil {
+		t.Fatal("spec derived from a system with no finite deadline")
+	}
+}
+
+// TestSpecDelaySemantics closes the loop with the controller: a stream
+// whose cycle starts FullNeed short of nominal (delay = Nominal −
+// FullNeed) must open at top quality; one cycle more of delay and the
+// worst-case constraint forces qmin.
+func TestSpecDelaySemantics(t *testing.T) {
+	sys := specSystem(t)
+	prog, err := core.NewProgram(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := SpecFromProgram(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atDelay := func(delay core.Cycles) core.Decision {
+		c := prog.NewController()
+		c.Preempt(delay)
+		d, err := c.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	if d := atDelay(spec.Nominal - spec.FullNeed); d.Level != 1 || d.Fallback {
+		t.Fatalf("at FullNeed share: %+v, want top level", d)
+	}
+	if d := atDelay(spec.Nominal - spec.FullNeed + 1); d.Level != 0 || d.Fallback {
+		t.Fatalf("one past FullNeed share: %+v, want qmin without fallback", d)
+	}
+	if d := atDelay(spec.Nominal - spec.MinNeed); d.Level != 0 || d.Fallback {
+		t.Fatalf("at MinNeed share: %+v, want qmin without fallback", d)
+	}
+	if d := atDelay(spec.Nominal - spec.MinNeed + 1); !d.Fallback {
+		t.Fatalf("past MinNeed share: %+v, want fallback", d)
+	}
+}

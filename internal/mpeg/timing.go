@@ -216,10 +216,26 @@ func (fs *FrameSystem) SetBudget(b core.Cycles, ctrl *core.Controller) error {
 	return nil
 }
 
+// WorstCaseBudget returns the worst-case cycles to encode a whole frame
+// at level q (including instrumentation overhead): the budget that
+// makes level q safe from the first decision to the last.
+func (fs *FrameSystem) WorstCaseBudget(q core.Level) core.Cycles {
+	per := MacroblockWc(q) + core.Cycles(NumActions)*fs.Cfg.DecisionOverhead
+	return per * core.Cycles(fs.Cfg.Macroblocks)
+}
+
 // MinFeasibleBudget returns the smallest budget for which the frame is
 // schedulable at qmin under worst-case times (including instrumentation
 // overhead): below this, hard guarantees are impossible.
 func (fs *FrameSystem) MinFeasibleBudget() core.Cycles {
-	per := MacroblockWc(0) + core.Cycles(NumActions)*fs.Cfg.DecisionOverhead
-	return per * core.Cycles(fs.Cfg.Macroblocks)
+	return fs.WorstCaseBudget(0)
+}
+
+// MaxUsefulBudget returns the worst-case budget of the top quality
+// level: cycles granted beyond it cannot raise quality further. With
+// the paper's timing tables this saturates far above a frame period —
+// worst cases are heavy-tailed — so mixer shares typically cap at the
+// period first.
+func (fs *FrameSystem) MaxUsefulBudget() core.Cycles {
+	return fs.WorstCaseBudget(fs.Sys.Levels.Max())
 }

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/buffer"
 	"repro/internal/core"
+	"repro/internal/mixer"
 	"repro/internal/mpeg"
 	"repro/internal/platform"
 	"repro/internal/sched"
@@ -112,18 +113,55 @@ func (r *Result) EncodedRecords() []FrameRecord {
 
 // RunStreams simulates several pipeline streams concurrently, one
 // goroutine per config — the serving shape of the system: many
-// independent camera/encoder streams progressing in parallel. Results
-// are returned in config order; a failing stream does not stop its
-// siblings (its slot is nil and its error joined).
-func RunStreams(cfgs []Config) ([]*Result, error) {
+// camera/encoder streams progressing in parallel. Results are returned
+// in config order; a failing stream does not stop its siblings (its
+// slot is nil and its error joined).
+//
+// shared, when non-nil, runs every stream against one global CPU budget
+// per period instead of letting each stream assume the whole machine:
+// each stream is admitted to the mixer before any stream starts (a
+// stream the budget cannot carry even at minimal quality fails with
+// ErrBudgetExhausted while its siblings proceed), and each frame's
+// encoding budget is capped at the stream's granted share. Admissions
+// are released when all streams finish, so a run is deterministic for a
+// given config list and budget. Pass nil for the previous
+// independent-streams behaviour.
+func RunStreams(cfgs []Config, shared *mixer.Budget) ([]*Result, error) {
 	results := make([]*Result, len(cfgs))
 	errs := make([]error, len(cfgs))
+	grants := make([]*mixer.Grant, len(cfgs))
+	encs := make([]*mpeg.Encoder, len(cfgs))
+	if shared != nil {
+		for i := range cfgs {
+			enc, err := buildEncoder(cfgs[i])
+			if err != nil {
+				errs[i] = fmt.Errorf("pipeline: stream %d: %w", i, err)
+				continue
+			}
+			g, err := shared.Admit(streamSpec(cfgs[i], enc))
+			if err != nil {
+				errs[i] = fmt.Errorf("pipeline: stream %d: %w", i, err)
+				continue
+			}
+			encs[i], grants[i] = enc, g
+		}
+		defer func() {
+			for _, g := range grants {
+				if g != nil {
+					g.Release()
+				}
+			}
+		}()
+	}
 	var wg sync.WaitGroup
 	for i := range cfgs {
+		if errs[i] != nil {
+			continue
+		}
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			res, err := Run(cfgs[i])
+			res, err := run(cfgs[i], grants[i], encs[i])
 			if err != nil {
 				errs[i] = fmt.Errorf("pipeline: stream %d: %w", i, err)
 				return
@@ -135,34 +173,78 @@ func RunStreams(cfgs []Config) ([]*Result, error) {
 	return results, errors.Join(errs...)
 }
 
-// Run simulates the whole benchmark stream through the pipeline.
-func Run(cfg Config) (*Result, error) {
+// streamSpec derives a pipeline stream's admission contract from its
+// built encoder: the period is the stream's nominal horizon; the
+// minimal need is the worst-case load of the weakest level the stream
+// can run at (qmin for controlled and policy streams, the fixed level
+// for constant-quality ones).
+func streamSpec(cfg Config, enc *mpeg.Encoder) mixer.StreamSpec {
+	p := cfg.Source.Period()
+	minNeed := enc.FS.MinFeasibleBudget()
+	fullNeed := enc.FS.MaxUsefulBudget()
+	if !cfg.Controlled && cfg.Policy == nil {
+		// The constant-quality baseline cannot degrade: its worst-case
+		// load is pinned at its fixed level.
+		minNeed = enc.FS.WorstCaseBudget(cfg.ConstQ)
+		fullNeed = minNeed
+	}
+	nominal := p
+	if nominal < minNeed {
+		// An overcommitted baseline (the paper's constant q=3 case)
+		// wants more than its period; admit it at its true worst-case
+		// footprint so the budget arithmetic stays honest.
+		nominal = minNeed
+	}
+	if fullNeed > nominal {
+		fullNeed = nominal
+	}
+	return mixer.StreamSpec{Nominal: nominal, MinNeed: minNeed, FullNeed: fullNeed}
+}
+
+// buildEncoder constructs the stream's encoder variant from its config.
+func buildEncoder(cfg Config) (*mpeg.Encoder, error) {
 	if cfg.Source == nil {
 		return nil, fmt.Errorf("pipeline: nil source")
 	}
 	if cfg.K <= 0 {
 		return nil, fmt.Errorf("pipeline: buffer size K=%d must be positive", cfg.K)
 	}
-	src := cfg.Source
-	p := src.Period()
-	n := src.Config().Macroblocks
-
-	var enc *mpeg.Encoder
-	var err error
+	p := cfg.Source.Period()
+	n := cfg.Source.Config().Macroblocks
 	switch {
 	case cfg.Controlled && cfg.Policy != nil:
 		return nil, fmt.Errorf("pipeline: Controlled and Policy are mutually exclusive")
 	case cfg.Controlled:
-		enc, err = mpeg.NewControlled(n, p, cfg.Seed, cfg.ControlledOpts...)
+		return mpeg.NewControlled(n, p, cfg.Seed, cfg.ControlledOpts...)
 	case cfg.Policy != nil:
 		cfg.Policy.Reset()
-		enc, err = mpeg.NewConstant(n, 0, p, cfg.Seed)
+		return mpeg.NewConstant(n, 0, p, cfg.Seed)
 	default:
-		enc, err = mpeg.NewConstant(n, cfg.ConstQ, p, cfg.Seed)
+		return mpeg.NewConstant(n, cfg.ConstQ, p, cfg.Seed)
 	}
-	if err != nil {
-		return nil, err
+}
+
+// Run simulates the whole benchmark stream through the pipeline,
+// assuming the whole CPU. To share one budget across several streams
+// use RunStreams with a mixer.Budget.
+func Run(cfg Config) (*Result, error) {
+	return run(cfg, nil, nil)
+}
+
+// run simulates one stream; a non-nil grant caps each frame's encoding
+// budget at the stream's share of the mixed CPU budget, read at the
+// frame boundary. enc may be passed in pre-built (the RunStreams
+// admission path builds it to derive the spec); nil builds it here.
+func run(cfg Config, grant *mixer.Grant, enc *mpeg.Encoder) (*Result, error) {
+	if enc == nil {
+		var err error
+		enc, err = buildEncoder(cfg)
+		if err != nil {
+			return nil, err
+		}
 	}
+	src := cfg.Source
+	p := src.Period()
 
 	res := &Result{Config: cfg}
 	res.Records = make([]FrameRecord, src.Len())
@@ -211,14 +293,25 @@ func Run(cfg Config) (*Result, error) {
 		// Latency bound P·K: the frame must be finished K periods after
 		// its arrival.
 		budget := rec.Arrival + core.Cycles(cfg.K)*p - now
+		if grant != nil {
+			// The stream runs on a share of a mixed CPU budget: it may
+			// not assume more of the period than the mixer granted it,
+			// however much latency headroom the buffers would allow.
+			if share := grant.Share(); budget > share {
+				budget = share
+			}
+		}
 		if budget < minBudget {
 			// Defensive clamp; unreachable for the controlled encoder
 			// when P itself is feasible (it never falls behind by more
-			// than the latency bound).
+			// than the latency bound). Under a mixer grant the share is
+			// at least the admission's MinNeed, so the clamp stays
+			// unreachable there too.
 			budget = minBudget
 		}
 		rec.Budget = budget
 		var frep mpeg.FrameReport
+		var err error
 		if cfg.Policy != nil {
 			dec := cfg.Policy.Decide(sched.FrameContext{
 				Index:      idx,

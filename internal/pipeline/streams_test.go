@@ -1,8 +1,11 @@
 package pipeline
 
 import (
+	"errors"
 	"testing"
 
+	"repro/internal/core"
+	"repro/internal/mixer"
 	"repro/internal/video"
 )
 
@@ -21,7 +24,7 @@ func TestRunStreamsConcurrent(t *testing.T) {
 	for i := range cfgs {
 		cfgs[i] = Config{Source: src, K: 1, Controlled: i%2 == 0, ConstQ: 3, Seed: uint64(i + 1)}
 	}
-	concurrent, err := RunStreams(cfgs)
+	concurrent, err := RunStreams(cfgs, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +54,7 @@ func TestRunStreamsPartialFailure(t *testing.T) {
 	results, err := RunStreams([]Config{
 		{Source: src, K: 1, ConstQ: 2, Seed: 1},
 		{Source: nil, K: 1}, // invalid: must fail alone
-	})
+	}, nil)
 	if err == nil {
 		t.Fatal("invalid stream accepted")
 	}
@@ -60,5 +63,144 @@ func TestRunStreamsPartialFailure(t *testing.T) {
 	}
 	if results[1] != nil {
 		t.Fatal("failed stream produced a result")
+	}
+}
+
+// sharedSource builds a small deterministic stream for the mixer tests.
+func sharedSource(t *testing.T, frames int) *video.Source {
+	t.Helper()
+	cfg := video.DefaultConfig()
+	cfg.Frames = frames
+	cfg.Macroblocks = 30
+	src, err := video.NewSource(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src
+}
+
+// TestRunStreamsSharedBudgetGenerous: with enough budget for every
+// stream's full nominal period, mixed streams must behave exactly like
+// independent ones — the grant share caps at the period, which a K=1
+// frame budget never exceeds.
+func TestRunStreamsSharedBudgetGenerous(t *testing.T) {
+	src := sharedSource(t, 20)
+	cfgs := make([]Config, 4)
+	for i := range cfgs {
+		cfgs[i] = Config{Source: src, K: 1, Controlled: true, Seed: uint64(i + 1)}
+	}
+	shared, err := mixer.New(src.Period()*core.Cycles(len(cfgs)), mixer.Fair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed, err := RunStreams(cfgs, shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := shared.Stats(); st.Streams != 0 {
+		t.Fatalf("grants not released after the run: %+v", st)
+	}
+	for i := range cfgs {
+		solo, err := Run(cfgs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mixed[i].TotalCycles != solo.TotalCycles || mixed[i].Skips != solo.Skips ||
+			mixed[i].Misses != solo.Misses {
+			t.Fatalf("stream %d diverged under a generous shared budget: %+v vs %+v",
+				i, mixed[i], solo)
+		}
+	}
+}
+
+// TestRunStreamsSharedBudgetTight: near the admission floor each
+// controlled stream is squeezed to a fraction of its period; quality
+// must drop relative to the generous case but hard deadlines (against
+// the granted budgets) must hold, and the run stays deterministic.
+func TestRunStreamsSharedBudgetTight(t *testing.T) {
+	src := sharedSource(t, 20)
+	cfgs := make([]Config, 4)
+	for i := range cfgs {
+		cfgs[i] = Config{Source: src, K: 1, Controlled: true, Seed: uint64(i + 1)}
+	}
+	newTight := func() *mixer.Budget {
+		enc, err := buildEncoder(cfgs[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		minNeed := streamSpec(cfgs[0], enc).MinNeed
+		b, err := mixer.New(minNeed*core.Cycles(len(cfgs))+minNeed/2, mixer.Fair)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	tight, err := RunStreams(cfgs, newTight())
+	if err != nil {
+		t.Fatal(err)
+	}
+	generous, err := RunStreams(cfgs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanQ := func(res *Result) float64 {
+		var q float64
+		var n int
+		for _, r := range res.Records {
+			if !r.Skipped {
+				q += r.MeanLevel
+				n++
+			}
+		}
+		return q / float64(n)
+	}
+	for i := range cfgs {
+		if tight[i].Misses != 0 {
+			t.Errorf("stream %d missed %d deadlines under a tight shared budget", i, tight[i].Misses)
+		}
+		if meanQ(tight[i]) >= meanQ(generous[i]) {
+			t.Errorf("stream %d quality did not degrade: tight %.2f vs solo %.2f",
+				i, meanQ(tight[i]), meanQ(generous[i]))
+		}
+	}
+	// Determinism: a second identical run reproduces the first exactly.
+	again, err := RunStreams(cfgs, newTight())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cfgs {
+		if again[i].TotalCycles != tight[i].TotalCycles || meanQ(again[i]) != meanQ(tight[i]) {
+			t.Fatalf("stream %d not deterministic under the shared budget", i)
+		}
+	}
+}
+
+// TestRunStreamsSharedBudgetRejection: a budget that can only carry
+// some of the streams at qmin rejects the surplus with
+// ErrBudgetExhausted while the admitted siblings run to completion.
+func TestRunStreamsSharedBudgetRejection(t *testing.T) {
+	src := sharedSource(t, 10)
+	cfgs := make([]Config, 3)
+	for i := range cfgs {
+		cfgs[i] = Config{Source: src, K: 1, Controlled: true, Seed: uint64(i + 1)}
+	}
+	enc, err := buildEncoder(cfgs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	minNeed := streamSpec(cfgs[0], enc).MinNeed
+	shared, err := mixer.New(minNeed*2, mixer.Fair) // room for two streams only
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := RunStreams(cfgs, shared)
+	if err == nil || !errors.Is(err, mixer.ErrBudgetExhausted) {
+		t.Fatalf("overcommit err = %v, want ErrBudgetExhausted", err)
+	}
+	if results[0] == nil || results[1] == nil {
+		t.Fatal("admitted streams were dropped")
+	}
+	if results[2] != nil {
+		t.Fatal("rejected stream produced a result")
 	}
 }

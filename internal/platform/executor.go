@@ -55,11 +55,11 @@ type Report struct {
 	CtrlCycles core.Cycles // cycles spent in controller decisions
 	Misses     int
 	Fallbacks  int
-	LevelSum   int64
+	LevelSum   int64 // sum of chosen level indexes (0 = qmin)
 	Trace      []Step
 }
 
-// MeanLevel returns the mean quality level over the cycle.
+// MeanLevel returns the mean quality over the cycle in level indexes.
 func (r Report) MeanLevel() float64 {
 	if r.Actions == 0 {
 		return 0
@@ -109,7 +109,7 @@ func (e *Executor) RunControlled(ctrl Driver, w Workload, sys *core.System) (Rep
 		e.Clock.Advance(cost)
 		rep.WorkCycles += cost
 		rep.Actions++
-		rep.LevelSum += int64(d.Level)
+		rep.LevelSum += int64(d.LevelIndex)
 		if d.Fallback {
 			rep.Fallbacks++
 		}
@@ -148,7 +148,7 @@ func (e *Executor) RunConstant(sys *core.System, q core.Level, w Workload) Repor
 		e.Clock.Advance(cost)
 		rep.WorkCycles += cost
 		rep.Actions++
-		rep.LevelSum += int64(q)
+		rep.LevelSum += int64(qi)
 		elapsed := e.Clock.Now() - start
 		if !d[a].IsInf() && elapsed > d[a] {
 			rep.Misses++

@@ -49,6 +49,14 @@ func (r *Runtime) Program() *core.Program { return r.prog }
 // System returns the served system.
 func (r *Runtime) System() *core.System { return r.prog.System() }
 
+// BudgetSource yields the elapsed-time handicap a budgeted stream must
+// charge its controller at every cycle start — the CPU cycles the other
+// streams sharing the budget consume per period. mixer.Grant implements
+// it; so does any fixed or adaptive share scheme.
+type BudgetSource interface {
+	CycleDelay() core.Cycles
+}
+
 // Acquire hands out a fresh Session for one stream, reusing a pooled
 // controller instance when available. The session is at a cycle
 // boundary. Observers are per-acquire: they see only this stream.
@@ -65,23 +73,44 @@ func (r *Runtime) Acquire(obs ...Observer) *Session {
 		ctrl = r.prog.NewController()
 	}
 	r.active.Add(1)
-	return &Session{ctrl: ctrl, obs: obs, rt: r}
+	s := &Session{ctrl: ctrl, obs: obs}
+	s.owner.Store(r)
+	return s
+}
+
+// AcquireBudgeted hands out a Session whose cycles run under a shared
+// budget share: at every cycle boundary (including this acquire) the
+// session charges src.CycleDelay() to its controller, so admissibility
+// sees only the stream's share of the period. Typical use is an
+// admitted mixer.Grant:
+//
+//	g, err := budget.Admit(spec)
+//	s := rt.AcquireBudgeted(g)
+//	defer func() { rt.Release(s); g.Release() }()
+func (r *Runtime) AcquireBudgeted(src BudgetSource, obs ...Observer) *Session {
+	s := r.Acquire(obs...)
+	s.budget = src
+	s.applyBudget()
+	return s
 }
 
 // Release returns the session's controller instance to the pool. The
-// session must not be used afterwards. Releasing a session that did not
-// come from this runtime is a no-op.
+// session must not be used afterwards. Release is safe against misuse
+// that would otherwise poison the shared pool: releasing a session that
+// came from a different runtime (or none) is a no-op that leaves the
+// session usable, and double releases — even concurrent ones — detach
+// the controller exactly once.
 func (r *Runtime) Release(s *Session) {
-	if s == nil || s.rt != r || s.ctrl == nil {
+	if s == nil || !s.owner.CompareAndSwap(r, nil) {
 		return
 	}
 	ctrl := s.ctrl
 	s.ctrl = nil
-	s.rt = nil
+	s.budget = nil
 	r.active.Add(-1)
 	// A Retarget would have forked the controller off the shared
 	// program; keep only instances that still serve it.
-	if ctrl.Program() == r.prog {
+	if ctrl != nil && ctrl.Program() == r.prog {
 		r.pool.Put(ctrl)
 	}
 }

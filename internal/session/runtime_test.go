@@ -194,3 +194,142 @@ func TestRuntimeSoftMode(t *testing.T) {
 		t.Fatal("runtime controller options not applied")
 	}
 }
+
+// fixedDelay is a BudgetSource test double with a settable handicap.
+type fixedDelay struct {
+	mu sync.Mutex
+	d  core.Cycles
+}
+
+func (f *fixedDelay) CycleDelay() core.Cycles {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.d
+}
+
+func (f *fixedDelay) set(d core.Cycles) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.d = d
+}
+
+// TestRuntimeAcquireBudgeted checks the budget hook: the session opens
+// every cycle with the shared-budget handicap pre-charged, and re-reads
+// the share at each Reset. The demo system's first decision admits the
+// top level up to t=60 and the mid level up to t=64.
+func TestRuntimeAcquireBudgeted(t *testing.T) {
+	sys := demoSystem(t)
+	rt, err := NewRuntime(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := &fixedDelay{d: 61}
+	s := rt.AcquireBudgeted(src)
+	defer rt.Release(s)
+	if s.Elapsed() != 61 {
+		t.Fatalf("budgeted session opened at t=%v, want 61", s.Elapsed())
+	}
+	d, err := s.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Level != 1 || d.Fallback {
+		t.Fatalf("decision under handicap 61: %+v, want level 1", d)
+	}
+	// The share grew between cycles (another stream released): Reset
+	// must pick up the new delay and recover full quality.
+	src.set(0)
+	s.Reset()
+	if s.Elapsed() != 0 {
+		t.Fatalf("reset session at t=%v, want 0", s.Elapsed())
+	}
+	d, err = s.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Level != 2 {
+		t.Fatalf("decision at full share: %+v, want top level", d)
+	}
+}
+
+// TestRuntimeReleaseForeignRuntime: a session must only ever be
+// released to the runtime it came from; a foreign release is a no-op
+// that leaves the session attached and usable.
+func TestRuntimeReleaseForeignRuntime(t *testing.T) {
+	sys := demoSystem(t)
+	rtA, err := NewRuntime(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtB, err := NewRuntime(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rtA.Acquire()
+	rtB.Release(s)
+	if got := rtA.Stats().ActiveSessions; got != 1 {
+		t.Fatalf("foreign release detached the session: active=%d", got)
+	}
+	if got := rtB.Stats().ActiveSessions; got != 0 {
+		t.Fatalf("foreign release corrupted the foreign runtime: active=%d", got)
+	}
+	// The session still runs and accounts to its true owner.
+	if _, err := s.RunFunc(func(a core.ActionID, q core.Level) core.Cycles {
+		return sys.Cav.At(q, a)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := rtA.Stats().Cycles; got != 1 {
+		t.Fatalf("cycle accounted to the wrong runtime: A served %d", got)
+	}
+	rtA.Release(s)
+	if got := rtA.Stats().ActiveSessions; got != 0 {
+		t.Fatalf("owner release failed after foreign attempt: active=%d", got)
+	}
+	// rtB's pool must not have received A's controller: a fresh
+	// acquire from B serves B's program.
+	sB := rtB.Acquire()
+	defer rtB.Release(sB)
+	if sB.Controller().Program() != rtB.Program() {
+		t.Fatal("foreign controller leaked into the pool")
+	}
+}
+
+// TestRuntimeConcurrentDoubleRelease races many releases of the same
+// sessions (run under -race): each session must detach exactly once, so
+// the pool never holds one controller instance twice and the active
+// count never goes negative.
+func TestRuntimeConcurrentDoubleRelease(t *testing.T) {
+	sys := demoSystem(t)
+	rt, err := NewRuntime(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const sessions = 16
+	ss := make([]*Session, sessions)
+	for i := range ss {
+		ss[i] = rt.Acquire()
+	}
+	var wg sync.WaitGroup
+	for _, s := range ss {
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(s *Session) {
+				defer wg.Done()
+				rt.Release(s)
+			}(s)
+		}
+	}
+	wg.Wait()
+	if got := rt.Stats().ActiveSessions; got != 0 {
+		t.Fatalf("active sessions after racy releases: %d", got)
+	}
+	// Had any double release poisoned the pool, two acquires could be
+	// handed the same controller instance.
+	a, b := rt.Acquire(), rt.Acquire()
+	defer rt.Release(a)
+	defer rt.Release(b)
+	if a.Controller() == b.Controller() {
+		t.Fatal("pool handed one controller to two sessions")
+	}
+}

@@ -1,6 +1,8 @@
 package session
 
 import (
+	"sync/atomic"
+
 	"repro/internal/core"
 	"repro/internal/platform"
 	"repro/internal/trace"
@@ -117,7 +119,16 @@ type Session struct {
 	pending    core.Decision
 	hasPending bool
 
-	rt *Runtime
+	// budget, when non-nil, charges the stream's shared-budget handicap
+	// (CycleDelay) to the controller at every cycle start — see
+	// Runtime.AcquireBudgeted.
+	budget BudgetSource
+
+	// owner is the Runtime this session was acquired from (nil for
+	// stand-alone sessions). It is atomic so Runtime.Release can
+	// detach the session exactly once even under a racy double
+	// release, and reject sessions owned by a different runtime.
+	owner atomic.Pointer[Runtime]
 }
 
 // NewSession builds a stand-alone session: its own controller (and
@@ -170,11 +181,28 @@ func (s *Session) Schedule() []core.ActionID { return s.ctrl.Schedule() }
 // Assignment returns the current quality assignment.
 func (s *Session) Assignment() core.Assignment { return s.ctrl.Assignment() }
 
-// Reset prepares the session for a new cycle over the same stream.
+// Reset prepares the session for a new cycle over the same stream. A
+// budgeted session (Runtime.AcquireBudgeted) re-reads its shared-budget
+// share here: the cycle opens with the other streams' CPU time already
+// charged.
 func (s *Session) Reset() {
 	s.ctrl.Reset()
 	s.hasPending = false
+	s.applyBudget()
 }
+
+// applyBudget charges the stream's current shared-budget handicap to
+// the controller at a cycle boundary.
+func (s *Session) applyBudget() {
+	if s.budget != nil {
+		s.ctrl.Preempt(s.budget.CycleDelay())
+	}
+}
+
+// Preempt charges dt cycles of external CPU time (other streams,
+// platform preemption) to the controller's elapsed-time view without
+// completing an action.
+func (s *Session) Preempt(dt core.Cycles) { s.ctrl.Preempt(dt) }
 
 // Next computes the decision for the coming action and fires the
 // on-decision (and possibly on-fallback) hooks.
@@ -219,8 +247,8 @@ func (s *Session) Run(w platform.Workload) (core.CycleResult, error) {
 	if err != nil {
 		return res, err
 	}
-	if s.rt != nil {
-		s.rt.account(&res)
+	if rt := s.owner.Load(); rt != nil {
+		rt.account(&res)
 	}
 	return res, nil
 }

@@ -70,6 +70,7 @@ package qos
 
 import (
 	"repro/internal/core"
+	"repro/internal/mixer"
 	"repro/internal/platform"
 	"repro/internal/session"
 	"repro/internal/trace"
@@ -177,6 +178,53 @@ var (
 	RecorderObserver = session.RecorderObserver
 	// EWMAObserver streams completed actions into an EWMA learner.
 	EWMAObserver = session.EWMAObserver
+)
+
+// The mixer: shared-budget control across concurrent streams. Where a
+// Controller arbitrates one stream's quality levels against one cycle
+// budget, a SharedBudget arbitrates N streams against one global CPU
+// budget per period: admission reserves each stream's worst-case qmin
+// need, the slack is re-partitioned between streams at cycle boundaries
+// under a policy, and Runtime.AcquireBudgeted charges each stream its
+// handicap at every cycle start.
+type (
+	// SharedBudget is the goroutine-safe global budget controller.
+	SharedBudget = mixer.Budget
+	// StreamGrant is one admitted stream's handle on a SharedBudget.
+	StreamGrant = mixer.Grant
+	// StreamSpec is a stream's admission contract (nominal horizon,
+	// worst-case qmin need, full-quality need, weight).
+	StreamSpec = mixer.StreamSpec
+	// SharePolicy selects how slack is split between streams.
+	SharePolicy = mixer.Policy
+	// SharedBudgetStats is a snapshot of a SharedBudget.
+	SharedBudgetStats = mixer.Stats
+	// BudgetSource yields a budgeted session's per-cycle handicap;
+	// StreamGrant implements it.
+	BudgetSource = session.BudgetSource
+)
+
+// Share policies.
+const (
+	// FairShare splits slack equally (water-filling).
+	FairShare = mixer.Fair
+	// WeightedShare splits slack proportionally to grant weights.
+	WeightedShare = mixer.Weighted
+	// GreedyShare maximises aggregate level: cheapest streams to lift
+	// to full quality fill first.
+	GreedyShare = mixer.Greedy
+)
+
+var (
+	// NewSharedBudget builds a shared budget of total cycles per
+	// period under a policy.
+	NewSharedBudget = mixer.New
+	// StreamSpecFromProgram derives a stream's admission contract from
+	// its precomputed program.
+	StreamSpecFromProgram = mixer.SpecFromProgram
+	// ErrBudgetExhausted rejects an admission the budget cannot carry
+	// even at minimal quality.
+	ErrBudgetExhausted = mixer.ErrBudgetExhausted
 )
 
 // Controller options (forwarded via WithControllerOptions, NewRuntime
