@@ -1,0 +1,329 @@
+// BenchmarkControllerDecision / BenchmarkRetarget and their JSON
+// emitter: the decision hot path itself is the benchmark target (the
+// paper's viability claim is that per-decision overhead is near zero).
+// The emitter (TestEmitCoreBenchJSON) writes BENCH_core.json when
+// BENCH_CORE_JSON names the output path; CI runs both on every push:
+//
+//	BENCH_CORE_JSON=BENCH_core.json \
+//	  go test -run TestEmitCoreBenchJSON -bench ControllerDecision -benchtime=1x .
+//
+// The emitter also enforces the engine's contract: >= 2x ns/decision
+// over the linear-scan reference at 16 levels, zero allocations per
+// Next+Completed on the table path, and a uniform-budget retarget that
+// beats the table rebuild.
+package qos_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mpeg"
+)
+
+// benchDecisionSystem builds a chain of nActions with nLevels quality
+// levels, per-level cost (qi+1)*100 and per-action deadline step sized
+// so that a workload consuming exactly `step` cycles per action settles
+// at the middle level: every decision makes the linear scan walk about
+// half the level set while the threshold engine binary-searches it.
+func benchDecisionSystem(tb testing.TB, nLevels, nActions int) (*core.System, core.Cycles) {
+	tb.Helper()
+	levels := core.NewLevelRange(0, core.Level(nLevels-1))
+	b := core.NewGraphBuilder()
+	names := make([]string, nActions)
+	for i := range names {
+		names[i] = fmt.Sprintf("a%d", i)
+		b.AddAction(names[i])
+	}
+	for i := 1; i < nActions; i++ {
+		b.AddEdge(names[i-1], names[i])
+	}
+	g, err := b.Build()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	step := core.Cycles(nLevels/2+1)*100 + 50
+	cav := core.NewTimeFamily(levels, nActions, 0)
+	cwc := core.NewTimeFamily(levels, nActions, 0)
+	d := core.NewTimeFamily(levels, nActions, core.Inf)
+	for qi, q := range levels {
+		c := core.Cycles(qi+1) * 100
+		for a := 0; a < nActions; a++ {
+			cav.Set(q, core.ActionID(a), c)
+			cwc.Set(q, core.ActionID(a), c)
+			d.Set(q, core.ActionID(a), core.Cycles(a+1)*step)
+		}
+	}
+	sys, err := core.NewSystem(g, levels, cav, cwc, d)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return sys, step
+}
+
+// benchDecisionLoop drives Next+Completed for b.N decisions (cycles
+// reset inline; the amortised O(1/n) reset cost is part of the serving
+// reality).
+func benchDecisionLoop(b *testing.B, sys *core.System, actual core.Cycles, opts ...core.Option) {
+	b.Helper()
+	ctrl, err := core.NewController(sys, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ctrl.Done() {
+			ctrl.Reset()
+		}
+		if _, err := ctrl.Next(); err != nil {
+			b.Fatal(err)
+		}
+		ctrl.Completed(actual)
+	}
+}
+
+// BenchmarkControllerDecision measures one controller decision across
+// level counts on the table path — threshold engine vs the retained
+// linear-scan reference — plus the direct (no-tables) path.
+func BenchmarkControllerDecision(b *testing.B) {
+	for _, nl := range []int{4, 8, 16, 32} {
+		sys, step := benchDecisionSystem(b, nl, 64)
+		b.Run(fmt.Sprintf("levels-%d/table-threshold", nl), func(b *testing.B) {
+			benchDecisionLoop(b, sys, step)
+		})
+		b.Run(fmt.Sprintf("levels-%d/table-linear-scan", nl), func(b *testing.B) {
+			benchDecisionLoop(b, sys, step, core.WithReferenceScan(true))
+		})
+	}
+	// Direct evaluation re-runs Best_Sched per candidate: keep it small.
+	sysD, stepD := benchDecisionSystem(b, 8, 8)
+	b.Run("levels-8/direct", func(b *testing.B) {
+		benchDecisionLoop(b, sysD, stepD, core.WithTables(false))
+	})
+}
+
+// benchRetargetSystem: an mpeg frame system (single end-of-frame
+// deadline) plus a controller on the generic table path — the
+// configuration whose budget changes are uniform deadline shifts.
+func benchRetargetSystem(tb testing.TB, macroblocks int) (*mpeg.FrameSystem, *core.Controller, core.Cycles) {
+	tb.Helper()
+	budget := core.Cycles(macroblocks) * 300_000
+	fs, err := mpeg.BuildSystem(mpeg.SystemConfig{Macroblocks: macroblocks, Budget: budget})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	ctrl, err := core.NewController(fs.Sys, core.WithTables(true))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return fs, ctrl, budget
+}
+
+// BenchmarkRetarget measures per-frame budget re-targeting: the O(1)
+// uniform-shift fast path (FrameSystem.SetBudget on the generic table
+// path), the full table rebuild it replaces, and the LRU program-cache
+// path that amortises recurring non-uniform families.
+func BenchmarkRetarget(b *testing.B) {
+	const mbs = 100
+	b.Run("setbudget-uniform-shift", func(b *testing.B) {
+		fs, ctrl, budget := benchRetargetSystem(b, mbs)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			next := budget + core.Cycles(1+i%2)*50_000
+			if err := fs.SetBudget(next, ctrl); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("rebuild", func(b *testing.B) {
+		fs, _, budget := benchRetargetSystem(b, mbs)
+		// The pre-threshold-engine SetBudget: rewrite the deadline
+		// family and rebuild the whole program (tables included).
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			next := budget + core.Cycles(1+i%2)*50_000
+			if err := fs.SetBudget(next, nil); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := core.NewProgram(fs.Sys, core.WithTables(true)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("program-cache", func(b *testing.B) {
+		// Per-macroblock deadlines scale non-uniformly with the budget:
+		// the shift path cannot apply, but two recurring budgets hit the
+		// encoder-style LRU cache after the first rebuild of each.
+		budget := core.Cycles(mbs) * 300_000
+		fs, err := mpeg.BuildSystem(mpeg.SystemConfig{
+			Macroblocks: mbs, Budget: budget, PerMacroblockDeadlines: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctrl, err := core.NewController(fs.Sys, core.WithProgramCache(core.NewProgramCache(0)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			next := budget + core.Cycles(1+i%2)*50_000
+			if err := fs.SetBudget(next, ctrl); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// coreBenchPoint is one BENCH_core.json decision-path row.
+type coreBenchPoint struct {
+	Path          string  `json:"path"`
+	Levels        int     `json:"levels"`
+	Actions       int     `json:"actions"`
+	NsPerDecision float64 `json:"ns_per_decision"`
+	AllocsPerOp   int64   `json:"allocs_per_op"`
+}
+
+// coreBenchRetarget is the BENCH_core.json retarget section.
+type coreBenchRetarget struct {
+	Macroblocks    int     `json:"macroblocks"`
+	UniformShiftNs float64 `json:"uniform_shift_ns"`
+	RebuildNs      float64 `json:"rebuild_ns"`
+	ProgramCacheNs float64 `json:"program_cache_ns"`
+	Speedup        float64 `json:"speedup_shift_vs_rebuild"`
+}
+
+// coreBenchFile is the BENCH_core.json schema.
+type coreBenchFile struct {
+	Benchmark            string            `json:"benchmark"`
+	GoVersion            string            `json:"go_version"`
+	GOMAXPROCS           int               `json:"gomaxprocs"`
+	Points               []coreBenchPoint  `json:"points"`
+	SpeedupAt16Levels    float64           `json:"speedup_threshold_vs_linear_at_16_levels"`
+	Retarget             coreBenchRetarget `json:"retarget"`
+	AcceptanceSpeedupMin float64           `json:"acceptance_speedup_min"`
+}
+
+// TestEmitCoreBenchJSON measures the decision hot path and the
+// retargeting paths and writes BENCH_core.json (path from
+// BENCH_CORE_JSON; skipped when unset). It fails — not just reports —
+// when the threshold engine loses its >= 2x edge at 16 levels, when the
+// table path allocates, or when the uniform-shift retarget stops
+// beating the rebuild.
+func TestEmitCoreBenchJSON(t *testing.T) {
+	out := os.Getenv("BENCH_CORE_JSON")
+	if out == "" {
+		t.Skip("BENCH_CORE_JSON not set")
+	}
+	const nActions = 64
+	file := coreBenchFile{
+		Benchmark:            "ControllerDecision",
+		GoVersion:            runtime.Version(),
+		GOMAXPROCS:           runtime.GOMAXPROCS(0),
+		AcceptanceSpeedupMin: 2,
+	}
+	perPath := map[string]map[int]float64{}
+	for _, nl := range []int{4, 8, 16, 32} {
+		sys, step := benchDecisionSystem(t, nl, nActions)
+		for _, path := range []struct {
+			name string
+			opts []core.Option
+		}{
+			{"table-threshold", nil},
+			{"table-linear-scan", []core.Option{core.WithReferenceScan(true)}},
+		} {
+			r := testing.Benchmark(func(b *testing.B) {
+				benchDecisionLoop(b, sys, step, path.opts...)
+			})
+			ns := float64(r.T.Nanoseconds()) / float64(r.N)
+			if perPath[path.name] == nil {
+				perPath[path.name] = map[int]float64{}
+			}
+			perPath[path.name][nl] = ns
+			file.Points = append(file.Points, coreBenchPoint{
+				Path:          path.name,
+				Levels:        nl,
+				Actions:       nActions,
+				NsPerDecision: ns,
+				AllocsPerOp:   r.AllocsPerOp(),
+			})
+			if r.AllocsPerOp() != 0 {
+				t.Errorf("%s at %d levels: %d allocs/op for Next+Completed, want 0", path.name, nl, r.AllocsPerOp())
+			}
+		}
+	}
+	file.SpeedupAt16Levels = perPath["table-linear-scan"][16] / perPath["table-threshold"][16]
+	if file.SpeedupAt16Levels < file.AcceptanceSpeedupMin {
+		t.Errorf("threshold engine speedup at 16 levels = %.2fx, want >= %.0fx (threshold %.1f ns, linear %.1f ns)",
+			file.SpeedupAt16Levels, file.AcceptanceSpeedupMin,
+			perPath["table-threshold"][16], perPath["table-linear-scan"][16])
+	}
+
+	const mbs = 100
+	measure := func(f func(b *testing.B)) float64 {
+		r := testing.Benchmark(f)
+		return float64(r.T.Nanoseconds()) / float64(r.N)
+	}
+	file.Retarget.Macroblocks = mbs
+	file.Retarget.UniformShiftNs = measure(func(b *testing.B) {
+		fs, ctrl, budget := benchRetargetSystem(b, mbs)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := fs.SetBudget(budget+core.Cycles(1+i%2)*50_000, ctrl); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	file.Retarget.RebuildNs = measure(func(b *testing.B) {
+		fs, _, budget := benchRetargetSystem(b, mbs)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := fs.SetBudget(budget+core.Cycles(1+i%2)*50_000, nil); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := core.NewProgram(fs.Sys, core.WithTables(true)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	file.Retarget.ProgramCacheNs = measure(func(b *testing.B) {
+		budget := core.Cycles(mbs) * 300_000
+		fs, err := mpeg.BuildSystem(mpeg.SystemConfig{
+			Macroblocks: mbs, Budget: budget, PerMacroblockDeadlines: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctrl, err := core.NewController(fs.Sys, core.WithProgramCache(core.NewProgramCache(0)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := fs.SetBudget(budget+core.Cycles(1+i%2)*50_000, ctrl); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	file.Retarget.Speedup = file.Retarget.RebuildNs / file.Retarget.UniformShiftNs
+	if file.Retarget.Speedup < 2 {
+		t.Errorf("uniform-shift retarget speedup = %.2fx over rebuild, want >= 2x (shift %.0f ns, rebuild %.0f ns)",
+			file.Retarget.Speedup, file.Retarget.UniformShiftNs, file.Retarget.RebuildNs)
+	}
+
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s (speedup %.2fx at 16 levels; retarget %.2fx)", out, file.SpeedupAt16Levels, file.Retarget.Speedup)
+}

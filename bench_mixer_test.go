@@ -122,6 +122,7 @@ func BenchmarkMixerSharedBudget(b *testing.B) {
 		b.Run(fmt.Sprintf("streams-%d", streams), func(b *testing.B) {
 			m := newMixerBench(b, streams)
 			defer m.release()
+			b.ReportAllocs()
 			b.ResetTimer()
 			meanLevel := m.serve(b, b.N)
 			b.StopTimer()
@@ -146,6 +147,10 @@ type mixerBenchPoint struct {
 	Misses          int64   `json:"misses"`
 	Fallbacks       int64   `json:"fallbacks"`
 	ShareFraction   float64 `json:"share_fraction_of_nominal"`
+	// AllocsPerStreamCyc tracks allocation regressions on the serving
+	// path: heap allocations per served stream-cycle (72 decisions plus
+	// cycle bookkeeping; the decision hot path itself contributes 0).
+	AllocsPerStreamCyc float64 `json:"allocs_per_stream_cycle"`
 }
 
 // mixerBenchFile is the BENCH_mixer.json schema.
@@ -179,23 +184,28 @@ func TestEmitMixerBenchJSON(t *testing.T) {
 	}
 	for _, streams := range []int{8, 16, 32} {
 		m := newMixerBench(t, streams)
+		var m0, m1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
 		start := time.Now()
 		meanLevel := m.serve(t, periods)
 		elapsed := time.Since(start)
+		runtime.ReadMemStats(&m1)
 		st := m.rt.Stats()
 		if st.Misses != 0 {
 			t.Fatalf("streams=%d: hard mode served with %d misses", streams, st.Misses)
 		}
 		cycles := int64(streams) * int64(periods)
 		file.Points = append(file.Points, mixerBenchPoint{
-			Streams:         streams,
-			Periods:         periods,
-			NsPerStreamCyc:  float64(elapsed.Nanoseconds()) / float64(cycles),
-			StreamCycPerSec: float64(cycles) / elapsed.Seconds(),
-			MeanLevel:       meanLevel,
-			Misses:          st.Misses,
-			Fallbacks:       st.Fallbacks,
-			ShareFraction:   float64(m.grants[0].Share()) / float64(m.spec.Nominal),
+			Streams:            streams,
+			Periods:            periods,
+			NsPerStreamCyc:     float64(elapsed.Nanoseconds()) / float64(cycles),
+			StreamCycPerSec:    float64(cycles) / elapsed.Seconds(),
+			MeanLevel:          meanLevel,
+			Misses:             st.Misses,
+			Fallbacks:          st.Fallbacks,
+			ShareFraction:      float64(m.grants[0].Share()) / float64(m.spec.Nominal),
+			AllocsPerStreamCyc: float64(m1.Mallocs-m0.Mallocs) / float64(cycles),
 		})
 		m.release()
 	}

@@ -162,6 +162,56 @@ func TestFallbackResetsSmoothnessBaseline(t *testing.T) {
 	}
 }
 
+// TestCandidateEvalThresholdProbes locks in the CandidateEval semantics
+// under the threshold engine: the field counts threshold PROBES (1 when
+// the top candidate is admissible, ~log₂|Q| via binary search below
+// it), while the linear-scan reference keeps counting candidate levels
+// evaluated. Hand-computed on an 8-level chain with D(a_i) = 100(i+1)
+// and per-level cost 1+qi, so the combined slack at position 0 is
+// 100 − (1+qi) = 99..92.
+func TestCandidateEvalThresholdProbes(t *testing.T) {
+	levels := NewLevelRange(0, 7)
+	cost := make([]Cycles, 8)
+	for qi := range cost {
+		cost[qi] = Cycles(1 + qi)
+	}
+	sys := chainSystem(t, levels, cost, 2, 100)
+
+	// Top admissible at t=0: one probe on both engines.
+	for _, ref := range []bool{false, true} {
+		c := mustController(t, sys, WithReferenceScan(ref))
+		if _, err := c.Next(); err != nil {
+			t.Fatal(err)
+		}
+		if got := c.Stats().CandidateEval; got != 1 {
+			t.Errorf("ref=%v: CandidateEval = %d at t=0, want 1", ref, got)
+		}
+	}
+
+	// At t=99 only qmin (slack 99) is admissible. The threshold engine
+	// probes the top (fail), then binary-searches [0..6]: mid 3 fail,
+	// mid 1 fail, mid 0 hit — 4 probes. The reference walks all 8
+	// levels.
+	run := func(ref bool) int {
+		c := mustController(t, sys, WithReferenceScan(ref))
+		c.Preempt(99)
+		d, err := c.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.LevelIndex != 0 || d.Fallback {
+			t.Fatalf("ref=%v: decision %+v, want qmin without fallback", ref, d)
+		}
+		return c.Stats().CandidateEval
+	}
+	if got := run(false); got != 4 {
+		t.Errorf("threshold CandidateEval = %d at t=99, want 4 (1 top probe + 3 binary-search probes)", got)
+	}
+	if got := run(true); got != 8 {
+		t.Errorf("reference CandidateEval = %d at t=99, want 8 (full scan)", got)
+	}
+}
+
 // TestPreemptShrinksAdmission checks that external CPU time charged via
 // Preempt degrades admission exactly like a late cycle start: with 15 of
 // the first deadline's 10-cycle slack pre-consumed, only qmin remains

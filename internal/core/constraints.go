@@ -71,17 +71,45 @@ func subCost(m, c Cycles) Cycles {
 // For a fixed schedule order alpha (legal when the deadline order is
 // quality-independent), define for each level q and position i:
 //
-//	SlackAv[q][i] = min_{j≥i} ( D_q(α(j)) − Σ_{k=i..j} Cav_q(α(k)) )
-//	SlackWc[q][i] = min( D_q(α(i)),  WcQminSlack[i+1] ) − Cwc_q(α(i))
+//	SlackAv(q, i) = min_{j≥i} ( D_q(α(j)) − Σ_{k=i..j} Cav_q(α(k)) )
+//	SlackWc(q, i) = min( D_q(α(i)),  WcQminSlack[i+1] ) − Cwc_q(α(i))
 //	WcQminSlack[i] = min_{j≥i} ( D_qmin(α(j)) − Σ_{k=i..j} Cwc_qmin(α(k)) )
 //
-// Then Qual_Const(θ▷_i q, t) holds iff t ≤ SlackAv[q][i] ∧ t ≤ SlackWc[q][i],
-// an O(1) test per candidate level.
+// Then Qual_Const(θ▷_i q, t) holds iff t ≤ min(SlackAv(q,i), SlackWc(q,i)),
+// a single comparison per candidate level against the combined slack.
+//
+// The slacks are stored as contiguous position-major slabs (entry
+// [i·|Q|+q]): a decision at position i reads one run of adjacent memory
+// across all levels, instead of striding through |Q| separate
+// level-major rows. The combined slack min(av, wc) is precomputed so the
+// hard-mode hot path touches exactly one slab.
+//
+// When the combined slack at a position is non-increasing in the level —
+// which holds whenever the deadline family does not grow with quality
+// faster than the execution times, and always when deadlines are
+// quality-identical — admissibility t ≤ slack is a threshold test over a
+// monotone array and the maximal admissible level is found by binary
+// search in O(log|Q|). Positions with a non-monotone slack profile
+// (possible when D_q increases steeply with q) are flagged at
+// construction and fall back to the linear scan; MaxAdmissibleLevel
+// handles both transparently.
 type Tables struct {
-	Alpha       []ActionID
-	SlackAv     [][]Cycles // [levelIndex][position]
-	SlackWc     [][]Cycles // [levelIndex][position]
-	WcQminSlack []Cycles   // [position]
+	Alpha []ActionID
+	nl    int // number of levels; slab row stride
+
+	// Position-major slabs, entry [i*nl + qi], positions 0..n-1.
+	avSlack  []Cycles // SlackAv(q, i): the Qual_Const^av threshold
+	wcSlack  []Cycles // SlackWc(q, i): the Qual_Const^wc threshold
+	minSlack []Cycles // min(av, wc): the hard-mode combined threshold
+
+	// Per-position monotonicity of the threshold rows (non-increasing in
+	// the level index), the precondition of the binary-search selector.
+	avMono  []bool
+	minMono []bool
+
+	// WcQminSlack[i] is the qmin/worst-case suffix slack (fallback
+	// feasibility from position i); entry n is +Inf.
+	WcQminSlack []Cycles
 }
 
 // NewTables precomputes constraint tables for the system along the fixed
@@ -91,8 +119,12 @@ func NewTables(s *System, alpha []ActionID) *Tables {
 	nl := len(s.Levels)
 	t := &Tables{
 		Alpha:       append([]ActionID(nil), alpha...),
-		SlackAv:     make([][]Cycles, nl),
-		SlackWc:     make([][]Cycles, nl),
+		nl:          nl,
+		avSlack:     make([]Cycles, n*nl),
+		wcSlack:     make([]Cycles, n*nl),
+		minSlack:    make([]Cycles, n*nl),
+		avMono:      make([]bool, n),
+		minMono:     make([]bool, n),
 		WcQminSlack: make([]Cycles, n+1),
 	}
 	// Fallback suffix at qmin / worst case. Only hard deadlines bind
@@ -109,25 +141,64 @@ func NewTables(s *System, alpha []ActionID) *Tables {
 		cwc := s.Cwc.AtIndex(qi)
 		d := s.D.AtIndex(qi)
 		dHard := s.HardDeadlines(qi)
-		av := make([]Cycles, n+1)
-		wc := make([]Cycles, n) // no position n: wc constrains the next action only
-		av[n] = Inf
+		next := Inf // av suffix recurrence carries av(q, i+1)
 		for i := n - 1; i >= 0; i-- {
 			a := alpha[i]
-			av[i] = subCost(MinCycles(d[a], av[i+1]), cav[a])
-			wc[i] = subCost(MinCycles(dHard[a], t.WcQminSlack[i+1]), cwc[a])
+			av := subCost(MinCycles(d[a], next), cav[a])
+			wc := subCost(MinCycles(dHard[a], t.WcQminSlack[i+1]), cwc[a])
+			k := i*nl + qi
+			t.avSlack[k] = av
+			t.wcSlack[k] = wc
+			t.minSlack[k] = MinCycles(av, wc)
+			next = av
 		}
-		t.SlackAv[qi] = av
-		t.SlackWc[qi] = wc
+	}
+	for i := 0; i < n; i++ {
+		row := i * nl
+		t.avMono[i] = nonIncreasing(t.avSlack[row : row+nl])
+		t.minMono[i] = nonIncreasing(t.minSlack[row : row+nl])
 	}
 	return t
+}
+
+// nonIncreasing reports whether vs is non-increasing left to right.
+func nonIncreasing(vs []Cycles) bool {
+	for k := 1; k < len(vs); k++ {
+		if vs[k] > vs[k-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// SlackAvAt returns SlackAv(q, i) for level index qi at position i.
+func (tb *Tables) SlackAvAt(qi, i int) Cycles { return tb.avSlack[i*tb.nl+qi] }
+
+// SlackWcAt returns SlackWc(q, i) for level index qi at position i.
+func (tb *Tables) SlackWcAt(qi, i int) Cycles { return tb.wcSlack[i*tb.nl+qi] }
+
+// CombinedSlackAt returns min(SlackAv, SlackWc) at (qi, i) — the latest
+// elapsed time at which level index qi is admissible at position i under
+// the full (hard-mode) constraint.
+func (tb *Tables) CombinedSlackAt(qi, i int) Cycles { return tb.minSlack[i*tb.nl+qi] }
+
+// MonotoneAt reports whether the combined-slack profile at position i is
+// non-increasing in the level index, i.e. whether the binary-search
+// selector applies there (soft reports the av-only profile).
+func (tb *Tables) MonotoneAt(i int, soft bool) bool {
+	if soft {
+		return tb.avMono[i]
+	}
+	return tb.minMono[i]
 }
 
 // AllowedAv reports the table form of Qual_Const^av at level index qi,
 // position i, elapsed time t.
 func (tb *Tables) AllowedAv(qi, i int, t Cycles) bool {
-	s := tb.SlackAv[qi][i]
-	return s.IsInf() || t <= s
+	if i >= len(tb.Alpha) {
+		return true
+	}
+	return t <= tb.avSlack[i*tb.nl+qi]
 }
 
 // AllowedWc reports the table form of Qual_Const^wc.
@@ -135,14 +206,60 @@ func (tb *Tables) AllowedWc(qi, i int, t Cycles) bool {
 	if i >= len(tb.Alpha) {
 		return true
 	}
-	s := tb.SlackWc[qi][i]
-	return s.IsInf() || t <= s
+	return t <= tb.wcSlack[i*tb.nl+qi]
 }
 
 // Allowed reports the table form of Qual_Const.
 func (tb *Tables) Allowed(qi, i int, t Cycles) bool {
-	return tb.AllowedAv(qi, i, t) && tb.AllowedWc(qi, i, t)
+	if i >= len(tb.Alpha) {
+		return true
+	}
+	return t <= tb.minSlack[i*tb.nl+qi]
+}
+
+// MaxAdmissibleLevel implements LevelSelector: the highest admissible
+// level index in [0, hi] at position i and elapsed time t, together with
+// the number of threshold probes performed, or (-1, probes) when no
+// level is admissible. soft restricts the test to Qual_Const^av.
+//
+// The top candidate is probed first (the common case when the cycle is
+// on time), then the remaining range is binary-searched when the slack
+// profile at i is monotone, and linearly scanned otherwise.
+func (tb *Tables) MaxAdmissibleLevel(i, hi int, t Cycles, soft bool) (int, int) {
+	slab, mono := tb.minSlack, tb.minMono
+	if soft {
+		slab, mono = tb.avSlack, tb.avMono
+	}
+	row := slab[i*tb.nl : i*tb.nl+tb.nl : i*tb.nl+tb.nl]
+	probes := 1
+	if t <= row[hi] {
+		return hi, probes
+	}
+	if !mono[i] {
+		for qi := hi - 1; qi >= 0; qi-- {
+			probes++
+			if t <= row[qi] {
+				return qi, probes
+			}
+		}
+		return -1, probes
+	}
+	lo, up, chosen := 0, hi-1, -1
+	for lo <= up {
+		probes++
+		mid := int(uint(lo+up) >> 1)
+		if t <= row[mid] {
+			chosen = mid
+			lo = mid + 1
+		} else {
+			up = mid - 1
+		}
+	}
+	return chosen, probes
 }
 
 // Len returns the number of positions (actions) covered.
 func (tb *Tables) Len() int { return len(tb.Alpha) }
+
+// NumLevels returns the number of quality levels covered.
+func (tb *Tables) NumLevels() int { return tb.nl }

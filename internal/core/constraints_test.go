@@ -67,19 +67,29 @@ func TestTablesHandComputed(t *testing.T) {
 	alpha := []ActionID{0, 1}
 	tb := NewTables(sys, alpha)
 	// Level 1 at position 0: av slack = min(100-30, 100-60) = 40.
-	if got := tb.SlackAv[1][0]; got != 40 {
-		t.Errorf("SlackAv[1][0] = %v, want 40", got)
+	if got := tb.SlackAvAt(1, 0); got != 40 {
+		t.Errorf("SlackAvAt(1, 0) = %v, want 40", got)
 	}
 	// wc slack = min(100-50, (100-20)-50) = 30.
-	if got := tb.SlackWc[1][0]; got != 30 {
-		t.Errorf("SlackWc[1][0] = %v, want 30", got)
+	if got := tb.SlackWcAt(1, 0); got != 30 {
+		t.Errorf("SlackWcAt(1, 0) = %v, want 30", got)
 	}
 	// Level 0 position 1 (only b left): av slack = 100-10=90, wc = 100-20=80.
-	if got := tb.SlackAv[0][1]; got != 90 {
-		t.Errorf("SlackAv[0][1] = %v, want 90", got)
+	if got := tb.SlackAvAt(0, 1); got != 90 {
+		t.Errorf("SlackAvAt(0, 1) = %v, want 90", got)
 	}
-	if got := tb.SlackWc[0][1]; got != 80 {
-		t.Errorf("SlackWc[0][1] = %v, want 80", got)
+	if got := tb.SlackWcAt(0, 1); got != 80 {
+		t.Errorf("SlackWcAt(0, 1) = %v, want 80", got)
+	}
+	// Combined slack is the min of the two, and both positions of the
+	// quality-identical deadline family are monotone in the level.
+	if got := tb.CombinedSlackAt(1, 0); got != 30 {
+		t.Errorf("CombinedSlackAt(1, 0) = %v, want 30", got)
+	}
+	for i := 0; i < tb.Len(); i++ {
+		if !tb.MonotoneAt(i, false) || !tb.MonotoneAt(i, true) {
+			t.Errorf("position %d not monotone under quality-identical deadlines", i)
+		}
 	}
 	if !tb.Allowed(1, 0, 30) || tb.Allowed(1, 0, 31) {
 		t.Error("Allowed boundary at level 1 pos 0 wrong")
@@ -128,10 +138,10 @@ func TestPropertySlackMonotoneInLevel(t *testing.T) {
 		tb := NewTables(sys, alpha)
 		for i := 0; i < len(alpha); i++ {
 			for qi := 1; qi < len(sys.Levels); qi++ {
-				if tb.SlackAv[qi][i] > tb.SlackAv[qi-1][i] {
+				if tb.SlackAvAt(qi, i) > tb.SlackAvAt(qi-1, i) {
 					return false
 				}
-				if tb.SlackWc[qi][i] > tb.SlackWc[qi-1][i] {
+				if tb.SlackWcAt(qi, i) > tb.SlackWcAt(qi-1, i) {
 					return false
 				}
 			}

@@ -62,6 +62,20 @@ func WithEvaluator(ev Evaluator, order []ActionID) Option {
 	}
 }
 
+// WithReferenceScan forces (true) the retained linear-scan reference
+// path on top of the table evaluator: candidate levels are probed one
+// at a time from the highest down, exactly as the pre-threshold-engine
+// controller did. The reference exists for differential testing and
+// benchmarking of the O(log|Q|) threshold selector; decisions are
+// identical, only the probe pattern (and CandidateEval count) differs.
+func WithReferenceScan(use bool) Option { return func(p *Program) { p.refScan = use } }
+
+// WithProgramCache attaches a ProgramCache: Controller.Retarget
+// consults it before rebuilding tables for a non-uniform deadline
+// change and shares what it builds through it. One cache may serve any
+// number of controllers and programs over the same model.
+func WithProgramCache(pc *ProgramCache) Option { return func(p *Program) { p.cache = pc } }
+
 func boolPtr(b bool) *bool { return &b }
 
 // Decision is the controller's choice for one step: run Action at quality
@@ -95,9 +109,14 @@ type Program struct {
 
 	forceTables *bool
 	fixedAlpha  []ActionID
+	refScan     bool
+	cache       *ProgramCache
 
 	useTables bool
 	eval      Evaluator
+	// selector is the threshold fast path: set when eval implements
+	// LevelSelector and the linear-scan reference is not forced.
+	selector LevelSelector
 
 	alpha []ActionID // schedule order at qmin; never mutated after build
 }
@@ -110,6 +129,9 @@ func NewProgram(sys *System, opts ...Option) (*Program, error) {
 	p := &Program{sys: sys, maxStep: 0}
 	for _, opt := range opts {
 		opt(p)
+	}
+	if sys.Graph == nil || sys.Graph.Len() == 0 {
+		return nil, errors.New("core: system has no actions; a controllable cycle needs at least one")
 	}
 	if p.mode == Hard && !sys.FeasibleAtQmin() {
 		return nil, errors.New("core: no feasible schedule at qmin under worst-case times; hard control is impossible")
@@ -137,6 +159,11 @@ func NewProgram(sys *System, opts ...Option) (*Program, error) {
 		}
 		if p.useTables {
 			p.eval = NewTables(sys, p.alpha)
+		}
+	}
+	if !p.refScan {
+		if sel, ok := p.eval.(LevelSelector); ok {
+			p.selector = sel
 		}
 	}
 	return p, nil
@@ -191,16 +218,30 @@ type Controller struct {
 	i     int
 	t     Cycles
 	last  int // level *index* of the previous sustained decision; -1 = none
-	stats ControllerStats
+	// dshift is the cumulative uniform deadline shift applied via
+	// ShiftDeadlines or the Retarget fast path: the precomputed slacks
+	// were built for deadlines dshift cycles earlier, so admissibility
+	// tests see the effective time t − dshift. It survives Reset (the
+	// budget persists across cycles) and is cleared by a full rebuild.
+	dshift Cycles
+	stats  ControllerStats
 }
 
 // ControllerStats accumulates per-cycle controller behaviour.
 type ControllerStats struct {
-	Decisions     int   // calls to Next
-	Fallbacks     int   // decisions where no level was admissible
-	LevelSum      int64 // sum of chosen level *indexes* (for mean quality)
-	LevelChanges  int   // decisions that changed level vs previous action
-	CandidateEval int   // quality-constraint evaluations performed
+	Decisions    int   // calls to Next
+	Fallbacks    int   // decisions where no level was admissible
+	LevelSum     int64 // sum of chosen level *indexes* (for mean quality)
+	LevelChanges int   // decisions that changed level vs previous action
+	// CandidateEval counts admissibility probes. On the threshold fast
+	// path (Tables, IterativeTables) it is the number of threshold
+	// comparisons the level selector performed — 1 when the top
+	// candidate is admissible, ≈ log₂|Q| otherwise via binary search —
+	// NOT the number of levels skipped. On the linear-scan reference
+	// (WithReferenceScan) and the direct path it remains the number of
+	// candidate levels evaluated. Either way it measures admission work
+	// per decision.
+	CandidateEval int
 }
 
 // NewController builds a stand-alone controller: a fresh Program plus
@@ -252,32 +293,85 @@ func (c *Controller) resetOver(p *Program) {
 func (c *Controller) Reset() { c.resetOver(c.prog) }
 
 // Retarget replaces the system's deadline family (e.g. when the cycle's
-// time budget changes between frames) and rebuilds the precomputed
-// tables. The schedule order is recomputed at qmin. The controller must
-// be at a cycle boundary (Reset or Done).
+// time budget changes between frames). The controller must be at a
+// cycle boundary (Reset or Done).
 //
-// Retarget builds a fresh private Program for this controller; other
-// controllers sharing the previous Program are unaffected. The new
-// program goes through NewProgram, so every construction-time check
-// applies; WithTables pins the previous evaluation path (a retarget
-// that makes tables impossible is an error, not a silent downgrade to
-// direct evaluation).
+// Three paths, cheapest first:
+//
+//  1. Uniform shift (table path only): when every finite deadline of d
+//     is the current one displaced by a common Δ, every precomputed
+//     slack moves by exactly Δ, so the controller only adjusts its time
+//     base (see ShiftDeadlines) — no table rebuild, no revalidation
+//     beyond the O(1) qmin feasibility check against the shifted slack.
+//  2. Program cache: with WithProgramCache attached, a non-uniform d
+//     that matches a previously built family reuses that program.
+//  3. Rebuild: a fresh private Program through NewProgram, so every
+//     construction-time check applies; WithTables pins the previous
+//     evaluation path (a retarget that makes tables impossible is an
+//     error, not a silent downgrade to direct evaluation).
+//
+// All paths fork this controller off its previous Program; other
+// controllers sharing it are unaffected.
 func (c *Controller) Retarget(d *TimeFamily) error {
+	if d == nil {
+		return errors.New("core: Retarget with a nil deadline family")
+	}
 	if c.i != 0 && !c.Done() {
 		return errors.New("core: Retarget mid-cycle")
 	}
 	if _, ok := c.prog.eval.(*Tables); c.prog.eval != nil && !ok {
 		return errors.New("core: Retarget with a custom evaluator; re-target the evaluator instead")
 	}
+	// Fast path: a uniform displacement of the current family keeps the
+	// precomputed tables valid under a shifted time base. d must be a
+	// distinct family — when the caller mutated the system's deadlines
+	// in place there is nothing to diff against, and only the rebuild
+	// path can help.
+	if tb, ok := c.prog.eval.(*Tables); ok && d != c.prog.sys.D {
+		if delta, uniform := UniformShift(c.prog.sys.D, d); uniform {
+			shift := c.dshift.AddSat(delta)
+			if c.prog.mode != Hard || tb.WcQminSlack[0].AddSat(shift) >= 0 {
+				sys := *c.prog.sys
+				sys.D = d
+				p := *c.prog
+				p.sys = &sys
+				c.prog = &p
+				c.dshift = shift
+				c.resetOver(&p)
+				return nil
+			}
+			// Shift made qmin infeasible along the table order; fall
+			// through to the rebuild path for NewProgram's exact
+			// (EDF-order) feasibility semantics and error message.
+		}
+	}
+	// Cache before Validate: a hit proves d value-equal to a family a
+	// previous rebuild already validated, so revalidation (an O(n·|Q|)
+	// scan) would be pure overhead on the hit path.
+	if pc := c.prog.cache; pc != nil {
+		if p := pc.lookup(c.prog, d); p != nil {
+			c.prog = p
+			c.dshift = 0
+			c.resetOver(p)
+			return nil
+		}
+	}
 	sys := *c.prog.sys
 	sys.D = d
 	if err := sys.Validate(); err != nil {
 		return err
 	}
+	if c.prog.cache != nil {
+		// Cached programs must own an immutable deadline snapshot: the
+		// caller may keep mutating d (or the in-place family) after us.
+		sys.D = d.Clone()
+	}
 	opts := []Option{
 		WithMode(c.prog.mode),
 		WithMaxStep(c.prog.maxStep),
 		WithTables(c.prog.useTables),
+		WithReferenceScan(c.prog.refScan),
+		WithProgramCache(c.prog.cache),
 	}
 	if c.prog.fixedAlpha != nil {
 		opts = append(opts, WithSchedule(c.prog.fixedAlpha))
@@ -286,10 +380,49 @@ func (c *Controller) Retarget(d *TimeFamily) error {
 	if err != nil {
 		return fmt.Errorf("core: Retarget: %w", err)
 	}
+	if pc := c.prog.cache; pc != nil {
+		pc.insert(p)
+	}
 	c.prog = p
+	c.dshift = 0
 	c.resetOver(p)
 	return nil
 }
+
+// ShiftDeadlines applies a uniform deadline displacement in O(1): every
+// finite deadline of the system is taken to have moved by delta cycles
+// (e.g. the end-of-cycle budget grew or shrank by delta), so every
+// precomputed slack moves by delta and the controller merely adjusts
+// the time base its admissibility tests subtract — no table rebuild, no
+// allocation. The controller must be at a cycle boundary and on the
+// generic table path (Tables); iterative evaluators re-target through
+// IterativeTables.SetBudget instead.
+//
+// The controller's System().D family is NOT rewritten: the caller owns
+// keeping it consistent (the MPEG layer mutates it in place before
+// shifting; miss accounting reads it live). In Hard mode a delta that
+// would make minimal quality infeasible is rejected with no state
+// change.
+func (c *Controller) ShiftDeadlines(delta Cycles) error {
+	if c.i != 0 && !c.Done() {
+		return errors.New("core: ShiftDeadlines mid-cycle")
+	}
+	tb, ok := c.prog.eval.(*Tables)
+	if !ok {
+		return errors.New("core: ShiftDeadlines requires the precomputed-table path")
+	}
+	shift := c.dshift.AddSat(delta)
+	if c.prog.mode == Hard && tb.WcQminSlack[0].AddSat(shift) < 0 {
+		return fmt.Errorf("core: ShiftDeadlines(%v): no feasible schedule at qmin under worst-case times", delta)
+	}
+	c.dshift = shift
+	return nil
+}
+
+// DeadlineShift returns the cumulative uniform deadline shift currently
+// applied to the controller's time base (0 when the tables are used at
+// the deadlines they were built for).
+func (c *Controller) DeadlineShift() Cycles { return c.dshift }
 
 // Done reports whether all actions of the cycle have been scheduled.
 func (c *Controller) Done() bool { return c.i >= len(c.alpha) }
@@ -335,7 +468,18 @@ func (c *Controller) Next() (Decision, error) {
 		}
 	}
 	chosen := -1
-	if c.prog.useTables {
+	if sel := c.prog.selector; sel != nil {
+		// Threshold fast path: the selector yields the maximal
+		// admissible level directly (O(log|Q|) probes over the
+		// precomputed slack thresholds; zero allocations).
+		teff := c.t
+		if c.dshift != 0 {
+			teff = teff.SubSat(c.dshift)
+		}
+		var probes int
+		chosen, probes = sel.MaxAdmissibleLevel(c.i, hi, teff, c.prog.mode == Soft)
+		c.stats.CandidateEval += probes
+	} else if c.prog.useTables {
 		for qi := hi; qi >= 0; qi-- {
 			c.stats.CandidateEval++
 			if c.allowedTables(qi) {
@@ -388,10 +532,14 @@ func (c *Controller) Next() (Decision, error) {
 }
 
 func (c *Controller) allowedTables(qi int) bool {
-	if c.prog.mode == Soft {
-		return c.prog.eval.AllowedAv(qi, c.i, c.t)
+	t := c.t
+	if c.dshift != 0 {
+		t = t.SubSat(c.dshift)
 	}
-	return Allowed(c.prog.eval, qi, c.i, c.t)
+	if c.prog.mode == Soft {
+		return c.prog.eval.AllowedAv(qi, c.i, t)
+	}
+	return Allowed(c.prog.eval, qi, c.i, t)
 }
 
 func (c *Controller) allowedDirect(qi int) bool {

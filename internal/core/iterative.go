@@ -173,6 +173,40 @@ func (it *IterativeTables) AllowedWc(qi, i int, t Cycles) bool {
 	return t <= it.budget-need
 }
 
+// admissible is the conjunction the selector probes: Qual_Const^av, and
+// in hard mode also Qual_Const^wc.
+func (it *IterativeTables) admissible(qi, i int, t Cycles, soft bool) bool {
+	if soft {
+		return it.AllowedAv(qi, i, t)
+	}
+	return it.AllowedAv(qi, i, t) && it.AllowedWc(qi, i, t)
+}
+
+// MaxAdmissibleLevel implements LevelSelector in O(log|Q|) probes with
+// O(1) slack evaluation per probe. The suffix sums are non-decreasing in
+// the level (execution times are, by System invariant), so the
+// admissible set at a fixed position is always a prefix of the level
+// set and binary search applies unconditionally — the iterative tables
+// have no non-monotone fallback case.
+func (it *IterativeTables) MaxAdmissibleLevel(i, hi int, t Cycles, soft bool) (int, int) {
+	probes := 1
+	if it.admissible(hi, i, t, soft) {
+		return hi, probes
+	}
+	lo, up, chosen := 0, hi-1, -1
+	for lo <= up {
+		probes++
+		mid := int(uint(lo+up) >> 1)
+		if it.admissible(mid, i, t, soft) {
+			chosen = mid
+			lo = mid + 1
+		} else {
+			up = mid - 1
+		}
+	}
+	return chosen, probes
+}
+
 // MinFeasibleBudget returns the smallest budget admitting the whole
 // cycle at qmin under worst-case times.
 func (it *IterativeTables) MinFeasibleBudget() Cycles {

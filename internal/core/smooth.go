@@ -94,7 +94,7 @@ func analyzeSmoothness(s *System, ev Evaluator, alpha []ActionID) SmoothnessRepo
 // admissibility predicate.
 func latestAdmission(ev Evaluator, qi, i int) (Cycles, bool) {
 	if tb, ok := ev.(*Tables); ok {
-		s := MinCycles(tb.SlackAv[qi][i], tb.SlackWc[qi][i])
+		s := tb.CombinedSlackAt(qi, i)
 		if s < 0 {
 			return 0, false
 		}

@@ -152,6 +152,15 @@ func NewTimeFamily(levels LevelSet, n int, v Cycles) *TimeFamily {
 	return &TimeFamily{Levels: append(LevelSet(nil), levels...), Fns: fns}
 }
 
+// Clone returns a deep copy of the family.
+func (t *TimeFamily) Clone() *TimeFamily {
+	fns := make([]TimeFn, len(t.Fns))
+	for i, f := range t.Fns {
+		fns[i] = f.Clone()
+	}
+	return &TimeFamily{Levels: append(LevelSet(nil), t.Levels...), Fns: fns}
+}
+
 // At returns X_q(a).
 func (t *TimeFamily) At(q Level, a ActionID) Cycles {
 	i := t.Levels.Index(q)

@@ -56,13 +56,10 @@ func SpecFromProgram(p *core.Program) (StreamSpec, error) {
 // admissible at position 0 — the stream's tolerance for a late (or
 // preempted) cycle start at that level.
 func initialSlack(tb *core.Tables, qi int, soft bool) core.Cycles {
-	s := tb.SlackAv[qi][0]
-	if !soft {
-		if wc := tb.SlackWc[qi][0]; wc < s {
-			s = wc
-		}
+	if soft {
+		return tb.SlackAvAt(qi, 0)
 	}
-	return s
+	return tb.CombinedSlackAt(qi, 0)
 }
 
 // clampNeed converts an initial slack into a share need within

@@ -28,8 +28,14 @@ type Runtime struct {
 }
 
 // NewRuntime validates the system, precomputes its controller program
-// with the given options and returns the serving runtime.
+// with the given options and returns the serving runtime. The program
+// carries a shared retarget cache (core.ProgramCache): sessions whose
+// controllers re-target to a recurring set of deadline families (an
+// advanced, explicitly un-pooled flow) rebuild each family's tables at
+// most once runtime-wide. Pass core.WithProgramCache in opts to size or
+// share it explicitly.
 func NewRuntime(sys *core.System, opts ...core.Option) (*Runtime, error) {
+	opts = append([]core.Option{core.WithProgramCache(core.NewProgramCache(0))}, opts...)
 	prog, err := core.NewProgram(sys, opts...)
 	if err != nil {
 		return nil, err
@@ -109,8 +115,9 @@ func (r *Runtime) Release(s *Session) {
 	s.budget = nil
 	r.active.Add(-1)
 	// A Retarget would have forked the controller off the shared
-	// program; keep only instances that still serve it.
-	if ctrl != nil && ctrl.Program() == r.prog {
+	// program, and a ShiftDeadlines leaves a private time base behind;
+	// keep only instances indistinguishable from fresh ones.
+	if ctrl != nil && ctrl.Program() == r.prog && ctrl.DeadlineShift() == 0 {
 		r.pool.Put(ctrl)
 	}
 }

@@ -240,6 +240,13 @@ var (
 	WithSchedule = core.WithSchedule
 	// WithEvaluator installs a custom admissibility evaluator.
 	WithEvaluator = core.WithEvaluator
+	// WithReferenceScan forces the retained linear-scan reference path
+	// (for differential testing against the threshold engine).
+	WithReferenceScan = core.WithReferenceScan
+	// WithProgramCache attaches an LRU retarget cache to the program.
+	WithProgramCache = core.WithProgramCache
+	// NewProgramCache builds an LRU cache of re-targeted programs.
+	NewProgramCache = core.NewProgramCache
 )
 
 // Analysis and codegen-side types: schedules, tables, evaluators.
@@ -252,6 +259,12 @@ type (
 	IterativeTables = core.IterativeTables
 	// Evaluator is the admissibility oracle interface.
 	Evaluator = core.Evaluator
+	// LevelSelector is the threshold fast path: the maximal admissible
+	// level in O(log|Q|) probes.
+	LevelSelector = core.LevelSelector
+	// ProgramCache is a small LRU of re-targeted programs keyed by
+	// deadline family.
+	ProgramCache = core.ProgramCache
 )
 
 var (
