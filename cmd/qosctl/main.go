@@ -286,19 +286,19 @@ func simulate(cfg cliConfig, out io.Writer) error {
 					av := sys.Cav.At(q, a)
 					wc := sys.Cwc.At(q, a)
 					if wc.IsInf() {
-						wc = av * 2
+						wc = av.MulSat(2)
 					}
 					f := cfg.load * rng.Float64() * 2
 					if f > 1 {
 						f = 1
 					}
-					return av + qos.Cycles(f*float64(wc-av))
+					return av.AddSat(qos.Cycles(f * float64(wc.SubSat(av))))
 				})
 				if err != nil {
 					r.err = err
 					return
 				}
-				r.elapsed += res.Elapsed
+				r.elapsed = r.elapsed.AddSat(res.Elapsed)
 				qSum += res.MeanLevel()
 				r.misses += res.Misses
 				r.fallb += res.Fallbacks

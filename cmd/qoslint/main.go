@@ -1,0 +1,135 @@
+// Command qoslint is the project's static analyzer for Cycles-
+// arithmetic safety: raw +/-/* on core.Cycles (cyclesarith), ordered
+// comparisons downstream of unsaturated Inf arithmetic (infguard),
+// mutex self-deadlocks in the shared-budget mixer (mixerlock), and
+// direct access to the threshold engine's position-major slabs
+// (slabaccess). It is stdlib-only — go/parser and go/types with the
+// compiler's source importer — so it runs anywhere the Go toolchain
+// does, with no module downloads.
+//
+// Usage:
+//
+//	go run ./cmd/qoslint ./...
+//
+// Findings print as file:line:col: check: message, one per line, and
+// the exit status is 1 when there are any (2 on usage or load errors).
+// Suppress an arithmetic finding with //qos:overflow-ok <reason> on the
+// same line or the line above; see README "Static analysis & overflow
+// envelope" for the rules.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func realMain(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("qoslint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: qoslint [packages]\n\n"+
+			"Analyzes the surrounding module's non-test Go code. Package\n"+
+			"patterns restrict which packages' findings are reported:\n"+
+			"'./...' (default) for all, or relative directories like\n"+
+			"./internal/core.\n")
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "qoslint:", err)
+		return 2
+	}
+	root, err := findModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(stderr, "qoslint:", err)
+		return 2
+	}
+	pkgs, err := analysis.LoadModule(root)
+	if err != nil {
+		fmt.Fprintln(stderr, "qoslint:", err)
+		return 2
+	}
+	selected, err := selectPackages(pkgs, fs.Args(), cwd)
+	if err != nil {
+		fmt.Fprintln(stderr, "qoslint:", err)
+		return 2
+	}
+
+	diags := analysis.Analyze(selected)
+	for _, d := range diags {
+		pos := d.Pos
+		if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			pos.Filename = rel
+		}
+		fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", pos.Filename, pos.Line, pos.Column, d.Check, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "qoslint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// selectPackages filters the loaded packages to the requested patterns.
+// "./..." (and no pattern at all) selects everything; "dir/..." selects
+// the subtree; a plain relative directory selects one package.
+func selectPackages(pkgs []*analysis.Package, patterns []string, cwd string) ([]*analysis.Package, error) {
+	if len(patterns) == 0 {
+		return pkgs, nil
+	}
+	var out []*analysis.Package
+	seen := make(map[string]bool)
+	for _, pat := range patterns {
+		matched := false
+		dir, recursive := strings.CutSuffix(pat, "...")
+		dir = strings.TrimSuffix(dir, "/")
+		if dir == "" || dir == "." {
+			dir = cwd
+		} else if !filepath.IsAbs(dir) {
+			dir = filepath.Join(cwd, dir)
+		}
+		for _, p := range pkgs {
+			ok := p.Dir == dir
+			if recursive && !ok {
+				ok = strings.HasPrefix(p.Dir, dir+string(filepath.Separator)) || p.Dir == dir
+			}
+			if ok {
+				matched = true
+				if !seen[p.Path] {
+					seen[p.Path] = true
+					out = append(out, p)
+				}
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("pattern %q matched no packages", pat)
+		}
+	}
+	return out, nil
+}
+
+// findModuleRoot walks up from dir to the directory containing go.mod.
+func findModuleRoot(dir string) (string, error) {
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// devNull opens os.DevNull for capturing output we only exit-code check.
+func devNull(t *testing.T) *os.File {
+	t.Helper()
+	f, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+// The module's own tree is the primary regression surface: qoslint over
+// ./... must exit 0.
+func TestSelfModuleClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	null := devNull(t)
+	if code := realMain([]string{"./..."}, null, null); code != 0 {
+		t.Fatalf("qoslint ./... = exit %d, want 0 (run `go run ./cmd/qoslint ./...` for the findings)", code)
+	}
+}
+
+func TestUnmatchedPattern(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	null := devNull(t)
+	if code := realMain([]string{"./no/such/dir"}, null, null); code != 2 {
+		t.Fatalf("qoslint ./no/such/dir = exit %d, want 2", code)
+	}
+}
+
+func TestFindModuleRoot(t *testing.T) {
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := findModuleRoot(cwd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("findModuleRoot returned %s without go.mod: %v", root, err)
+	}
+	if !strings.HasPrefix(cwd, root) {
+		t.Fatalf("root %s is not a prefix of cwd %s", root, cwd)
+	}
+	if _, err := findModuleRoot(os.TempDir()); err == nil {
+		t.Error("findModuleRoot found a go.mod above the temp dir")
+	}
+}

@@ -53,7 +53,7 @@ func frameBound(sys *qos.System, q qos.Level, wc bool) qos.Cycles {
 	}
 	var s qos.Cycles
 	for a := 0; a < sys.Graph.Len(); a++ {
-		s += fam.At(q, qos.ActionID(a))
+		s = s.AddSat(fam.At(q, qos.ActionID(a)))
 	}
 	return s
 }
@@ -84,7 +84,7 @@ func decode(deadline qos.Cycles, frames, gop int, seed uint64) (float64, int, fl
 			av := sys.Cav.At(q, a)
 			wc := sys.Cwc.At(q, a)
 			frac := hot * (0.5 + 0.5*rng.Float64())
-			return av + qos.Cycles(frac*float64(wc-av))
+			return av.AddSat(qos.Cycles(frac * float64(wc.SubSat(av))))
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -118,7 +118,7 @@ func decodeConstant(deadline qos.Cycles, q qos.Level, frames, gop int, seed uint
 			av := sys.Cav.At(q, a)
 			wc := sys.Cwc.At(q, a)
 			frac := hot * (0.5 + 0.5*rng.Float64())
-			t += av + qos.Cycles(frac*float64(wc-av))
+			t = t.AddSat(av.AddSat(qos.Cycles(frac * float64(wc.SubSat(av)))))
 			if dl := sys.D.At(q, a); !dl.IsInf() && t > dl {
 				missed = true
 			}
@@ -146,8 +146,8 @@ func main() {
 
 	fmt.Printf("%-22s %-10s %-8s %-10s\n", "deadline (Mcycle)", "mean q", "misses", "budget use")
 	for _, deadline := range []qos.Cycles{
-		frameBound(ref, 0, true) + 200_000, // barely above the safe floor
-		3_100_000,                          // the baseline comparison point below
+		frameBound(ref, 0, true).AddSat(200_000), // barely above the safe floor
+		3_100_000,                                // the baseline comparison point below
 		3_800_000,
 		4_600_000,
 		5_400_000,

@@ -48,8 +48,8 @@ func main() {
 	// Budget the period between the admission floor (every stream at
 	// qmin) and full quality — 30% of the way up: the mixer has real
 	// arbitration to do.
-	perStream := spec.MinNeed + (spec.FullNeed-spec.MinNeed)*3/10
-	total := perStream * qos.Cycles(*streams)
+	perStream := spec.MinNeed.AddSat(spec.FullNeed.SubSat(spec.MinNeed).MulSat(3) / 10)
+	total := perStream.MulSat(qos.Cycles(*streams))
 	shared, err := qos.NewSharedBudget(total, qos.FairShare)
 	if err != nil {
 		log.Fatal(err)
@@ -91,11 +91,11 @@ func main() {
 						av := sys.Cav.At(q, a)
 						wc := sys.Cwc.At(q, a)
 						if wc.IsInf() {
-							wc = av * 2
+							wc = av.MulSat(2)
 						}
 						// Respect the execution contract C ≤ Cwc: hard
 						// deadlines must therefore never miss.
-						return av + qos.Cycles(rng.Float64()*float64(wc-av)/4)
+						return av.AddSat(qos.Cycles(rng.Float64() * float64(wc.SubSat(av)) / 4))
 					})
 					if err != nil {
 						log.Fatal(err)

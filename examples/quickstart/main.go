@@ -58,7 +58,7 @@ func main() {
 		res, err := s.RunFunc(func(a qos.ActionID, q qos.Level) qos.Cycles {
 			av := sys.Cav.At(q, a)
 			wc := sys.Cwc.At(q, a)
-			return av + qos.Cycles(rng.Float64()*float64(wc-av))
+			return av.AddSat(qos.Cycles(rng.Float64() * float64(wc.SubSat(av))))
 		})
 		if err != nil {
 			log.Fatal(err)

@@ -40,8 +40,8 @@ func buildSystem() (*qos.System, error) {
 	// The equaliser depth and decoder iterations scale with the level.
 	for qi := 0; qi <= 4; qi++ {
 		scale := qos.Cycles(qi + 1)
-		b.Time("equalise", qos.Level(qi), 5_000*scale, 9_000*scale)
-		b.Time("decode", qos.Level(qi), 6_000*scale, 12_000*scale)
+		b.Time("equalise", qos.Level(qi), scale.MulSat(5_000), scale.MulSat(9_000))
+		b.Time("decode", qos.Level(qi), scale.MulSat(6_000), scale.MulSat(12_000))
 	}
 	return b.Build()
 }
@@ -89,7 +89,7 @@ func main() {
 					av := sys.Cav.At(q, a)
 					wc := sys.Cwc.At(q, a)
 					f := fade * (0.6 + 0.4*rng.Float64())
-					return av + qos.Cycles(f*float64(wc-av))
+					return av.AddSat(qos.Cycles(f * float64(wc.SubSat(av))))
 				})
 				if err != nil {
 					log.Fatal(err)

@@ -29,8 +29,8 @@ func buildSystem() (*qos.System, error) {
 		DeadlineAll("encode", blockBudget)
 	for q := qos.Level(0); q <= 3; q++ {
 		fl := qos.Cycles(1 << uint(q)) // 1,2,4,8
-		b.Time("denoise", q, 250*fl, 450*fl)
-		b.Time("equalise", q, 200*fl, 350*fl)
+		b.Time("denoise", q, fl.MulSat(250), fl.MulSat(450))
+		b.Time("equalise", q, fl.MulSat(200), fl.MulSat(350))
 	}
 	return b.Build()
 }
@@ -50,7 +50,7 @@ func run(mode qos.Mode, sys *qos.System, blocks int) (misses int, meanQ float64)
 			// Every 8th block runs hot, towards the worst case; the
 			// rest fluctuate around the profiled average.
 			if i%8 == 7 {
-				return av + qos.Cycles((0.6+0.4*rng.Float64())*float64(wc-av))
+				return av.AddSat(qos.Cycles((0.6 + 0.4*rng.Float64()) * float64(wc.SubSat(av))))
 			}
 			c := qos.Cycles(float64(av) * (0.6 + 0.8*rng.Float64()))
 			if c > wc {

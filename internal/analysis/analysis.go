@@ -1,0 +1,146 @@
+// Package analysis implements qoslint, the project's static analyzer
+// for Cycles-arithmetic safety. It is built on go/parser and go/types
+// only — no module dependencies — so it runs in any sandbox that has a
+// Go toolchain.
+//
+// Four checks:
+//
+//   - cyclesarith: raw +, -, * (including +=, -=, *=, ++ and --) where
+//     an operand's type resolves to a defined integer type named Cycles,
+//     outside the file that declares the type (where the saturating
+//     helpers live). Constant-folded expressions are exempt: the
+//     compiler already rejects constant overflow.
+//   - infguard: ordered comparisons (<, <=, >, >=) whose operands derive
+//     from raw (unsaturated) Cycles arithmetic reachable from an Inf
+//     source; on wraparound such comparisons silently invert.
+//   - mixerlock: an intra-package call-graph check that no function
+//     calls, directly or transitively, a function that acquires a
+//     sync.Mutex/RWMutex field while the caller already holds one —
+//     the self-deadlock the shared-budget mixer's comment discipline
+//     ("callers hold b.mu") used to be the only guard against.
+//   - slabaccess: any use of the position-major slack slab fields
+//     (avSlack, wcSlack, minSlack) outside the file that declares them;
+//     everything else must go through the SlackAvAt / SlackWcAt /
+//     CombinedSlackAt accessors so the slab layout stays an
+//     implementation detail.
+//
+// The arithmetic checks (cyclesarith, infguard) honour the annotation
+//
+//	//qos:overflow-ok <reason>
+//
+// on the finding's line or the line directly above it. The reason is
+// mandatory: a bare annotation is itself reported. The architectural
+// checks (mixerlock, slabaccess) are not suppressible.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Check names, as they appear in diagnostics.
+const (
+	CheckCyclesArith = "cyclesarith"
+	CheckInfGuard    = "infguard"
+	CheckMixerLock   = "mixerlock"
+	CheckSlabAccess  = "slabaccess"
+	CheckAnnotation  = "annotation"
+)
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Position
+	Check   string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+}
+
+// Analyze runs every check over the loaded packages and returns the
+// findings sorted by position.
+func Analyze(pkgs []*Package) []Diagnostic {
+	var ds []Diagnostic
+	for _, p := range pkgs {
+		ann := collectAnnotations(p)
+		ds = append(ds, ann.diags...)
+		ds = append(ds, checkCyclesArith(p, ann)...)
+		ds = append(ds, checkInfGuard(p, ann)...)
+		ds = append(ds, checkMixerLock(p)...)
+		ds = append(ds, checkSlabAccess(p)...)
+	}
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i].Pos, ds[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return ds[i].Check < ds[j].Check
+	})
+	return ds
+}
+
+// annotationPrefix is the suppression marker for the arithmetic checks.
+const annotationPrefix = "qos:overflow-ok"
+
+// annotations records, per file, the lines carrying a well-formed
+// //qos:overflow-ok annotation. A finding on line L is suppressed when
+// an annotation sits on L (trailing comment) or on L-1 (a comment line
+// of its own above the statement).
+type annotations struct {
+	fset  *token.FileSet
+	lines map[string]map[int]bool // filename -> annotated lines
+	diags []Diagnostic            // malformed annotations
+}
+
+func collectAnnotations(p *Package) *annotations {
+	a := &annotations{fset: p.Fset, lines: make(map[string]map[int]bool)}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, annotationPrefix) {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				reason := strings.TrimSpace(strings.TrimPrefix(text, annotationPrefix))
+				if reason == "" {
+					a.diags = append(a.diags, Diagnostic{
+						Pos:     pos,
+						Check:   CheckAnnotation,
+						Message: "//qos:overflow-ok requires a reason (the proven bound or why overflow is impossible)",
+					})
+					continue
+				}
+				m := a.lines[pos.Filename]
+				if m == nil {
+					m = make(map[int]bool)
+					a.lines[pos.Filename] = m
+				}
+				m[pos.Line] = true
+			}
+		}
+	}
+	return a
+}
+
+// suppressed reports whether a finding at pos is covered by an
+// annotation on its own line or on the line above.
+func (a *annotations) suppressed(pos token.Position) bool {
+	m := a.lines[pos.Filename]
+	return m != nil && (m[pos.Line] || m[pos.Line-1])
+}
+
+// nodeLine returns the position of n's first token.
+func nodeLine(fset *token.FileSet, n ast.Node) token.Position {
+	return fset.Position(n.Pos())
+}

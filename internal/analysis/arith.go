@@ -1,0 +1,294 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// cyclesNamed returns the defined type behind t when it is an integer
+// type named "Cycles" (possibly via pointers or aliases), else nil. The
+// name-based match is what lets the fixture tests declare their own
+// guarded type; in this module it resolves to core.Cycles.
+func cyclesNamed(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		return cyclesNamed(ptr.Elem())
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok || named.Obj().Name() != "Cycles" {
+		return nil
+	}
+	if basic, ok := named.Underlying().(*types.Basic); ok && basic.Info()&types.IsInteger != 0 {
+		return named
+	}
+	return nil
+}
+
+// declFile returns the file that declares obj ("" when unknown). Raw
+// arithmetic is legal only there: that is where the saturating helpers
+// themselves live.
+func declFile(fset *token.FileSet, obj types.Object) string {
+	if obj == nil || !obj.Pos().IsValid() {
+		return ""
+	}
+	return fset.Position(obj.Pos()).Filename
+}
+
+// exprCycles returns the Cycles type of e's value, or nil.
+func exprCycles(info *types.Info, e ast.Expr) *types.Named {
+	tv, ok := info.Types[e]
+	if !ok {
+		return nil
+	}
+	return cyclesNamed(tv.Type)
+}
+
+// isConstant reports whether e folded to a compile-time constant; the
+// compiler rejects constant overflow, so such expressions are safe.
+func isConstant(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}
+
+func opName(op token.Token) string {
+	switch op {
+	case token.ADD, token.ADD_ASSIGN:
+		return "+"
+	case token.SUB, token.SUB_ASSIGN:
+		return "-"
+	case token.MUL, token.MUL_ASSIGN:
+		return "*"
+	case token.INC:
+		return "++"
+	case token.DEC:
+		return "--"
+	}
+	return op.String()
+}
+
+func satName(op token.Token) string {
+	switch op {
+	case token.ADD, token.ADD_ASSIGN, token.INC:
+		return "AddSat"
+	case token.SUB, token.SUB_ASSIGN, token.DEC:
+		return "SubSat"
+	default:
+		return "MulSat"
+	}
+}
+
+// checkCyclesArith reports raw +, -, * (and their assignment and
+// inc/dec forms) on Cycles operands outside the type's declaring file,
+// unless the statement carries a //qos:overflow-ok annotation.
+func checkCyclesArith(p *Package, ann *annotations) []Diagnostic {
+	var ds []Diagnostic
+	report := func(n ast.Node, op token.Token, named *types.Named) {
+		pos := nodeLine(p.Fset, n)
+		if pos.Filename == declFile(p.Fset, named.Obj()) || ann.suppressed(pos) {
+			return
+		}
+		ds = append(ds, Diagnostic{
+			Pos:   pos,
+			Check: CheckCyclesArith,
+			Message: fmt.Sprintf("raw %s on %s can overflow; use %s or annotate //qos:overflow-ok <reason>",
+				opName(op), named.Obj().Name(), satName(op)),
+		})
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.BinaryExpr:
+				switch e.Op {
+				case token.ADD, token.SUB, token.MUL:
+				default:
+					return true
+				}
+				if isConstant(p.Info, e) {
+					return true
+				}
+				named := exprCycles(p.Info, e.X)
+				if named == nil {
+					named = exprCycles(p.Info, e.Y)
+				}
+				if named != nil {
+					report(e, e.Op, named)
+				}
+			case *ast.AssignStmt:
+				switch e.Tok {
+				case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN:
+				default:
+					return true
+				}
+				for _, lhs := range e.Lhs {
+					if named := exprCycles(p.Info, lhs); named != nil {
+						report(e, e.Tok, named)
+					}
+				}
+			case *ast.IncDecStmt:
+				if named := exprCycles(p.Info, e.X); named != nil {
+					report(e, e.Tok, named)
+				}
+			}
+			return true
+		})
+	}
+	return ds
+}
+
+// infTracker is the per-function local dataflow for infguard: which
+// variables hold a value reachable from an Inf source, and which hold
+// the result of raw (unsaturated) Cycles arithmetic over such a value.
+type infTracker struct {
+	p       *Package
+	infy    map[*types.Var]bool // value derives from an Inf constant
+	tainted map[*types.Var]bool // value came through raw Cycles arithmetic on an Inf-reachable operand
+}
+
+// isInfConst reports whether obj is a constant named Inf of a Cycles
+// type (core.Inf, or a fixture's).
+func isInfConst(obj types.Object) bool {
+	c, ok := obj.(*types.Const)
+	return ok && c.Name() == "Inf" && cyclesNamed(c.Type()) != nil
+}
+
+func (tr *infTracker) localVar(e ast.Expr) *types.Var {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := tr.p.Info.Uses[id]
+	if obj == nil {
+		obj = tr.p.Info.Defs[id]
+	}
+	v, _ := obj.(*types.Var)
+	return v
+}
+
+// infReachable reports whether e mentions an Inf source: the Inf
+// constant itself, or a local previously assigned from one.
+func (tr *infTracker) infReachable(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.Ident:
+		if obj := tr.p.Info.Uses[x]; obj != nil && isInfConst(obj) {
+			return true
+		}
+		if v := tr.localVar(x); v != nil {
+			return tr.infy[v] || tr.tainted[v]
+		}
+	case *ast.SelectorExpr:
+		if obj := tr.p.Info.Uses[x.Sel]; obj != nil && isInfConst(obj) {
+			return true
+		}
+	case *ast.ParenExpr:
+		return tr.infReachable(x.X)
+	case *ast.UnaryExpr:
+		return tr.infReachable(x.X)
+	case *ast.BinaryExpr:
+		return tr.infReachable(x.X) || tr.infReachable(x.Y)
+	}
+	return false
+}
+
+// rawTainted reports whether e contains a non-constant raw +,-,* over
+// Cycles with an Inf-reachable operand, or reads a local holding such a
+// value.
+func (tr *infTracker) rawTainted(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.Ident:
+		if v := tr.localVar(x); v != nil {
+			return tr.tainted[v]
+		}
+	case *ast.ParenExpr:
+		return tr.rawTainted(x.X)
+	case *ast.UnaryExpr:
+		return tr.rawTainted(x.X)
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.ADD, token.SUB, token.MUL:
+			if !isConstant(tr.p.Info, x) &&
+				(exprCycles(tr.p.Info, x.X) != nil || exprCycles(tr.p.Info, x.Y) != nil) &&
+				(tr.infReachable(x.X) || tr.infReachable(x.Y)) {
+				return true
+			}
+		}
+		return tr.rawTainted(x.X) || tr.rawTainted(x.Y)
+	}
+	return false
+}
+
+// checkInfGuard reports ordered comparisons whose operands derive from
+// raw Cycles arithmetic reachable from an Inf source. Saturating ops
+// (AddSat & co) are call expressions and never taint; conversions and
+// calls act as barriers, keeping the check local and low-noise.
+func checkInfGuard(p *Package, ann *annotations) []Diagnostic {
+	var ds []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body == nil {
+				return true
+			}
+			tr := &infTracker{p: p, infy: make(map[*types.Var]bool), tainted: make(map[*types.Var]bool)}
+			// One source-order pass: assignments update the local taint
+			// state, comparisons are judged against the state so far.
+			ast.Inspect(body, func(m ast.Node) bool {
+				switch s := m.(type) {
+				case *ast.FuncLit:
+					return false // nested literals get their own pass from the outer Inspect
+				case *ast.AssignStmt:
+					if len(s.Lhs) == len(s.Rhs) {
+						for i, lhs := range s.Lhs {
+							v := tr.localVar(lhs)
+							if v == nil {
+								continue
+							}
+							tr.tainted[v] = tr.rawTainted(s.Rhs[i])
+							tr.infy[v] = tr.infReachable(s.Rhs[i])
+						}
+					}
+				case *ast.BinaryExpr:
+					switch s.Op {
+					case token.LSS, token.LEQ, token.GTR, token.GEQ:
+					default:
+						return true
+					}
+					named := exprCycles(p.Info, s.X)
+					if named == nil {
+						named = exprCycles(p.Info, s.Y)
+					}
+					if named == nil {
+						return true
+					}
+					if !tr.rawTainted(s.X) && !tr.rawTainted(s.Y) {
+						return true
+					}
+					pos := nodeLine(p.Fset, s)
+					if pos.Filename == declFile(p.Fset, named.Obj()) || ann.suppressed(pos) {
+						return true
+					}
+					ds = append(ds, Diagnostic{
+						Pos:   pos,
+						Check: CheckInfGuard,
+						Message: "ordered comparison on unsaturated Cycles arithmetic reachable from Inf; " +
+							"overflow flips the sign — saturate the arithmetic first or annotate //qos:overflow-ok <reason>",
+					})
+				}
+				return true
+			})
+			return true
+		})
+	}
+	return ds
+}

@@ -1,0 +1,243 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one parsed and type-checked package under analysis.
+type Package struct {
+	Path  string // import path
+	Dir   string // absolute directory
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// newInfo allocates the type-checker record the checks rely on.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+}
+
+// moduleImporter resolves module-internal import paths to the packages
+// being checked and everything else (the standard library) through the
+// compiler's source importer, so the analyzer needs no export data and
+// no third-party loader.
+type moduleImporter struct {
+	std  types.Importer
+	pkgs map[string]*types.Package
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m.pkgs[path]; ok {
+		return p, nil
+	}
+	return m.std.Import(path)
+}
+
+// LoadModule parses and type-checks every non-test package of the
+// module rooted at root (the directory containing go.mod), in
+// dependency order. Test files are outside the audit's scope: the
+// overflow envelope concerns production arithmetic, and tests construct
+// scenarios from constants the compiler already checks.
+func LoadModule(root string) ([]*Package, error) {
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+
+	type rawPkg struct {
+		path    string
+		dir     string
+		files   []*ast.File
+		imports map[string]bool // module-internal imports only
+	}
+	var raws []*rawPkg
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		files, perr := parseDir(fset, path)
+		if perr != nil {
+			return perr
+		}
+		if len(files) == 0 {
+			return nil
+		}
+		rel, rerr := filepath.Rel(root, path)
+		if rerr != nil {
+			return rerr
+		}
+		imp := modPath
+		if rel != "." {
+			imp = modPath + "/" + filepath.ToSlash(rel)
+		}
+		rp := &rawPkg{path: imp, dir: path, files: files, imports: make(map[string]bool)}
+		for _, f := range files {
+			for _, spec := range f.Imports {
+				ip, _ := strconv.Unquote(spec.Path.Value)
+				if ip == modPath || strings.HasPrefix(ip, modPath+"/") {
+					rp.imports[ip] = true
+				}
+			}
+		}
+		raws = append(raws, rp)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(raws, func(i, j int) bool { return raws[i].path < raws[j].path })
+
+	// Topologically order by module-internal imports so each package's
+	// dependencies are checked before it.
+	byPath := make(map[string]*rawPkg, len(raws))
+	for _, rp := range raws {
+		byPath[rp.path] = rp
+	}
+	var order []*rawPkg
+	state := make(map[string]int) // 0 unseen, 1 visiting, 2 done
+	var visit func(rp *rawPkg) error
+	visit = func(rp *rawPkg) error {
+		switch state[rp.path] {
+		case 1:
+			return fmt.Errorf("analysis: import cycle through %s", rp.path)
+		case 2:
+			return nil
+		}
+		state[rp.path] = 1
+		deps := make([]string, 0, len(rp.imports))
+		for ip := range rp.imports {
+			deps = append(deps, ip)
+		}
+		sort.Strings(deps)
+		for _, ip := range deps {
+			dep, ok := byPath[ip]
+			if !ok {
+				return fmt.Errorf("analysis: %s imports %s, which has no source under %s", rp.path, ip, root)
+			}
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		state[rp.path] = 2
+		order = append(order, rp)
+		return nil
+	}
+	for _, rp := range raws {
+		if err := visit(rp); err != nil {
+			return nil, err
+		}
+	}
+
+	imp := &moduleImporter{
+		std:  importer.ForCompiler(fset, "source", nil),
+		pkgs: make(map[string]*types.Package),
+	}
+	var out []*Package
+	for _, rp := range order {
+		conf := types.Config{Importer: imp}
+		info := newInfo()
+		tpkg, err := conf.Check(rp.path, fset, rp.files, info)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: type-checking %s: %w", rp.path, err)
+		}
+		imp.pkgs[rp.path] = tpkg
+		out = append(out, &Package{
+			Path: rp.path, Dir: rp.dir, Fset: fset, Files: rp.files, Pkg: tpkg, Info: info,
+		})
+	}
+	return out, nil
+}
+
+// LoadDir parses and type-checks the single package in dir, resolving
+// imports from the standard library only. It exists for fixture tests.
+func LoadDir(dir, importPath string) (*Package, error) {
+	fset := token.NewFileSet()
+	files, err := parseDir(fset, dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	info := newInfo()
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", dir, err)
+	}
+	return &Package{Path: importPath, Dir: dir, Fset: fset, Files: files, Pkg: tpkg, Info: info}, nil
+}
+
+// parseDir parses the non-test Go files of dir, sorted by name for
+// deterministic file order, returning nil when there are none.
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") ||
+			strings.HasPrefix(n, ".") || strings.HasPrefix(n, "_") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, n := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, n), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			p := strings.TrimSpace(rest)
+			p = strings.Trim(p, `"`)
+			if p != "" {
+				return p, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("analysis: no module path in %s", gomod)
+}

@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// slabFields are the position-major slack slabs of core.Tables. Their
+// [i*nl+qi] layout is an implementation detail of the threshold engine;
+// every read outside the declaring file must go through the accessors
+// so the layout can change without a treewide audit.
+var slabFields = map[string]string{
+	"avSlack":  "SlackAvAt",
+	"wcSlack":  "SlackWcAt",
+	"minSlack": "CombinedSlackAt",
+}
+
+// checkSlabAccess reports any use — indexing, slicing, aliasing — of a
+// slab field outside the file that declares it. Not suppressible: there
+// is no bounded-overflow argument to make, only an accessor to call.
+func checkSlabAccess(p *Package) []Diagnostic {
+	var ds []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			accessor, guarded := slabFields[sel.Sel.Name]
+			if !guarded {
+				return true
+			}
+			selection, ok := p.Info.Selections[sel]
+			if !ok || selection.Kind() != types.FieldVal {
+				return true
+			}
+			field, ok := selection.Obj().(*types.Var)
+			if !ok || !field.IsField() {
+				return true
+			}
+			pos := nodeLine(p.Fset, sel)
+			if pos.Filename == declFile(p.Fset, field) {
+				return true
+			}
+			ds = append(ds, Diagnostic{
+				Pos:   pos,
+				Check: CheckSlabAccess,
+				Message: fmt.Sprintf("direct access to position-major slab %s outside its declaring file; use %s",
+					sel.Sel.Name, accessor),
+			})
+			return true
+		})
+	}
+	return ds
+}

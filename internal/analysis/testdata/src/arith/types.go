@@ -1,0 +1,22 @@
+// Package arith is a qoslint fixture: a miniature Cycles domain whose
+// declaring file is the one place raw arithmetic is legal.
+package arith
+
+type Cycles int64
+
+const Inf Cycles = 1<<63 - 1
+
+// AddSat saturates instead of wrapping. Raw arithmetic below is legal:
+// this file declares Cycles.
+func (c Cycles) AddSat(d Cycles) Cycles {
+	s := c + d
+	if c > 0 && d > 0 && s < 0 {
+		return Inf
+	}
+	return s
+}
+
+// SubSat is the saturating subtraction.
+func (c Cycles) SubSat(d Cycles) Cycles {
+	return c.AddSat(-d)
+}

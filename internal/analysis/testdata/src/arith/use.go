@@ -1,0 +1,58 @@
+package arith
+
+// Sum accumulates with a raw += : flagged.
+func Sum(xs []Cycles) Cycles {
+	var s Cycles
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Deltas uses every raw binary operator once: three findings.
+func Deltas(a, b Cycles) (Cycles, Cycles, Cycles) {
+	d := a - b
+	p := a * b
+	q := a + b
+	return d, p, q
+}
+
+// Annotated is suppressed by a comment on the line above.
+func Annotated(a, b Cycles) Cycles {
+	//qos:overflow-ok both operands are bounded by the frame budget
+	return a + b
+}
+
+// Trailing is suppressed by a trailing comment on the same line.
+func Trailing(a, b Cycles) Cycles {
+	return a - b //qos:overflow-ok a >= b by construction
+}
+
+// Bare carries an annotation with no reason: the annotation itself is
+// reported, and it does not suppress the arithmetic finding.
+func Bare(a, b Cycles) Cycles {
+	//qos:overflow-ok
+	return a * b
+}
+
+const two Cycles = 2
+
+// Constant folds at compile time; the compiler rejects constant
+// overflow, so no finding.
+func Constant() Cycles {
+	return two * 3
+}
+
+// Count uses the inc form: flagged.
+func Count(xs []Cycles) Cycles {
+	n := Cycles(0)
+	for range xs {
+		n++
+	}
+	return n
+}
+
+// Saturating calls are never flagged.
+func Good(a, b Cycles) Cycles {
+	return a.AddSat(b).SubSat(two)
+}

@@ -1,0 +1,30 @@
+// Package clean is a qoslint fixture with zero findings: all Cycles
+// arithmetic is saturating or constant-folded, the raw helpers live in
+// the declaring file, and no guarded state is touched.
+package clean
+
+type Cycles int64
+
+const Inf Cycles = 1<<63 - 1
+
+const Mcycle Cycles = 1_000_000
+
+func (c Cycles) AddSat(d Cycles) Cycles {
+	if c == Inf || d == Inf {
+		return Inf
+	}
+	s := c + d
+	if c > 0 && d > 0 && s < 0 {
+		return Inf
+	}
+	return s
+}
+
+// Budget composes only saturating calls and constants.
+func Budget(frames int, per Cycles) Cycles {
+	var total Cycles
+	for i := 0; i < frames; i++ {
+		total = total.AddSat(per)
+	}
+	return total.AddSat(2 * Mcycle)
+}

@@ -1,0 +1,14 @@
+// Package infguard is a qoslint fixture for the Inf-reachability check.
+package infguard
+
+type Cycles int64
+
+const Inf Cycles = 1<<63 - 1
+
+// SubSat is the saturating subtraction; calls are taint barriers.
+func (c Cycles) SubSat(d Cycles) Cycles {
+	if d == Inf {
+		return -Inf
+	}
+	return c - d
+}

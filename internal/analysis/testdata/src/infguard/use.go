@@ -1,0 +1,38 @@
+package infguard
+
+// Risky subtracts an Inf sentinel without saturation and then branches
+// on the sign: the comparison is flagged (and the raw subtraction is a
+// cyclesarith finding of its own).
+func Risky(d Cycles) bool {
+	slack := d - Inf
+	return slack < 0
+}
+
+// Annotated blesses the arithmetic but not the comparison: an overflow
+// there still flips the sign, so infguard fires independently.
+func Annotated(d Cycles) bool {
+	//qos:overflow-ok demonstration: the annotation covers the subtraction only
+	slack := d - Inf
+	return slack > 0
+}
+
+// Suppressed annotates the comparison itself.
+func Suppressed(d Cycles) bool {
+	//qos:overflow-ok demonstration fixture, comparison line annotated
+	slack := d - Inf
+	return slack >= 0 //qos:overflow-ok demonstration fixture
+}
+
+// Guarded goes through the saturating helper: the call is a barrier,
+// no finding.
+func Guarded(d, c Cycles) bool {
+	slack := d.SubSat(c)
+	return slack < 0
+}
+
+// Laundered shows taint following a local through a second assignment.
+func Laundered(d Cycles) bool {
+	x := d + Inf //qos:overflow-ok demonstration fixture
+	y := x
+	return y > 0
+}

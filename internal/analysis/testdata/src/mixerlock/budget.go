@@ -1,0 +1,58 @@
+// Package mixerlock is a qoslint fixture for the intra-package
+// self-deadlock check on mutex-guarded budget state.
+package mixerlock
+
+import "sync"
+
+type Budget struct {
+	mu    sync.Mutex
+	total int64
+}
+
+// Commit holds b.mu and then calls recount, which locks it again:
+// flagged at the call site.
+func (b *Budget) Commit(n int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.total += n
+	b.recount()
+}
+
+func (b *Budget) recount() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+}
+
+// Audit reaches recount transitively through describe: flagged.
+func (b *Budget) Audit() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.describe()
+}
+
+func (b *Budget) describe() {
+	b.recount()
+}
+
+// Double locks the same mutex twice in a row: flagged.
+func (b *Budget) Double() {
+	b.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// Handoff releases before calling the locking helper: no finding.
+func (b *Budget) Handoff() {
+	b.mu.Lock()
+	b.total++
+	b.mu.Unlock()
+	b.recount()
+}
+
+// Safe never calls out while holding the lock: no finding.
+func (b *Budget) Safe() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.total
+}

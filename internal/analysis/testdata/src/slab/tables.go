@@ -1,0 +1,17 @@
+// Package slab is a qoslint fixture for the position-major slab
+// encapsulation check. This file declares the slabs, so its own
+// accessor bodies are legal.
+package slab
+
+type Tables struct {
+	avSlack  []int64
+	wcSlack  []int64
+	minSlack []int64
+	nl       int
+}
+
+func (t *Tables) SlackAvAt(qi, i int) int64 { return t.avSlack[i*t.nl+qi] }
+
+func (t *Tables) SlackWcAt(qi, i int) int64 { return t.wcSlack[i*t.nl+qi] }
+
+func (t *Tables) CombinedSlackAt(qi, i int) int64 { return t.minSlack[i*t.nl+qi] }

@@ -1,0 +1,22 @@
+package slab
+
+// Peek indexes the slab directly: flagged.
+func Peek(t *Tables) int64 {
+	return t.avSlack[0]
+}
+
+// Alias leaks the whole slab: flagged.
+func Alias(t *Tables) []int64 {
+	return t.minSlack
+}
+
+// Wc stores an alias first: flagged at the selector.
+func Wc(t *Tables) int64 {
+	s := t.wcSlack
+	return s[1]
+}
+
+// Good goes through the accessors: no findings.
+func Good(t *Tables) int64 {
+	return t.SlackAvAt(0, 0) + t.SlackWcAt(0, 0) + t.CombinedSlackAt(0, 0)
+}

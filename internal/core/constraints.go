@@ -51,19 +51,6 @@ func QualConst(s *System, alpha []ActionID, theta Assignment, t Cycles, i int) b
 	return QualConstAv(s, alpha, theta, t, i) && QualConstWc(s, alpha, theta, t, i)
 }
 
-// subCost returns m − c with the saturation semantics needed by slack
-// recurrences: a +Inf bound is never binding; a +Inf cost against a
-// finite bound can never be met.
-func subCost(m, c Cycles) Cycles {
-	if m.IsInf() {
-		return Inf
-	}
-	if c.IsInf() {
-		return -Inf
-	}
-	return m - c
-}
-
 // Tables holds the precomputed values used by the generated controller
 // (figure 4: "tables containing pre-computed values used by the
 // controller for the computation of Qual_Const^av and Qual_Const^wc").
@@ -134,7 +121,7 @@ func NewTables(s *System, alpha []ActionID) *Tables {
 	t.WcQminSlack[n] = Inf
 	for i := n - 1; i >= 0; i-- {
 		a := alpha[i]
-		t.WcQminSlack[i] = subCost(MinCycles(dMin[a], t.WcQminSlack[i+1]), cwcMin[a])
+		t.WcQminSlack[i] = MinCycles(dMin[a], t.WcQminSlack[i+1]).SubSat(cwcMin[a])
 	}
 	for qi := 0; qi < nl; qi++ {
 		cav := s.Cav.AtIndex(qi)
@@ -144,8 +131,8 @@ func NewTables(s *System, alpha []ActionID) *Tables {
 		next := Inf // av suffix recurrence carries av(q, i+1)
 		for i := n - 1; i >= 0; i-- {
 			a := alpha[i]
-			av := subCost(MinCycles(d[a], next), cav[a])
-			wc := subCost(MinCycles(dHard[a], t.WcQminSlack[i+1]), cwc[a])
+			av := MinCycles(d[a], next).SubSat(cav[a])
+			wc := MinCycles(dHard[a], t.WcQminSlack[i+1]).SubSat(cwc[a])
 			k := i*nl + qi
 			t.avSlack[k] = av
 			t.wcSlack[k] = wc

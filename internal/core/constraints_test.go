@@ -153,17 +153,21 @@ func TestPropertySlackMonotoneInLevel(t *testing.T) {
 	}
 }
 
-func TestSubCost(t *testing.T) {
-	if subCost(Inf, 5) != Inf {
+// The table builder subtracts costs from bounds with SubSat; these are
+// the sentinel cases NewTables depends on (an Inf bound never binds, an
+// Inf cost against a finite bound makes the slack NegInf = never
+// admissible).
+func TestBoundCostSubtraction(t *testing.T) {
+	if Inf.SubSat(5) != Inf {
 		t.Error("Inf bound must stay Inf")
 	}
-	if subCost(100, Inf) != -Inf {
-		t.Error("Inf cost against finite bound must be -Inf")
+	if Cycles(100).SubSat(Inf) != NegInf {
+		t.Error("Inf cost against finite bound must be NegInf")
 	}
-	if subCost(10, 3) != 7 {
-		t.Error("finite subCost wrong")
+	if Cycles(10).SubSat(3) != 7 {
+		t.Error("finite subtraction wrong")
 	}
-	if subCost(Inf, Inf) != Inf {
+	if Inf.SubSat(Inf) != Inf {
 		t.Error("Inf bound with Inf cost must stay Inf (never binding)")
 	}
 }

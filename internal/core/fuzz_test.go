@@ -1,0 +1,288 @@
+package core
+
+// Fuzz targets for the saturating Cycles arithmetic (differential
+// against a math/big reference) and for the controller's uniform
+// deadline-shift machinery (metamorphic: the cumulative shift must
+// saturate, and a hard-mode controller must never carry a shift that
+// makes minimal quality infeasible).
+//
+// Run the full targets with e.g.
+//
+//	go test ./internal/core -fuzz=FuzzAddSat -fuzztime=30s
+
+import (
+	"math"
+	"math/big"
+	"testing"
+)
+
+var (
+	bigInf    = big.NewInt(int64(Inf))
+	bigNegInf = big.NewInt(int64(NegInf))
+)
+
+// clampBig maps an exact big.Int result into the closed saturating
+// domain [NegInf, Inf].
+func clampBig(v *big.Int) Cycles {
+	if v.Cmp(bigInf) >= 0 {
+		return Inf
+	}
+	if v.Cmp(bigNegInf) <= 0 {
+		return NegInf
+	}
+	return Cycles(v.Int64())
+}
+
+// The reference models restate the documented contract: operands first
+// normalise into [NegInf, Inf]; the sentinels propagate by the rules on
+// AddSat/SubSat/MulSat; finite/finite falls through to exact big.Int
+// arithmetic clamped into the domain.
+
+func refAdd(a, b Cycles) Cycles {
+	if a.IsInf() || b.IsInf() {
+		return Inf
+	}
+	a, b = a.norm(), b.norm()
+	if a.IsNegInf() || b.IsNegInf() {
+		return NegInf
+	}
+	return clampBig(new(big.Int).Add(big.NewInt(int64(a)), big.NewInt(int64(b))))
+}
+
+func refSub(a, b Cycles) Cycles {
+	if a.IsInf() {
+		return Inf
+	}
+	a, b = a.norm(), b.norm()
+	if b.IsInf() || a.IsNegInf() {
+		return NegInf
+	}
+	if b.IsNegInf() {
+		return Inf
+	}
+	return clampBig(new(big.Int).Sub(big.NewInt(int64(a)), big.NewInt(int64(b))))
+}
+
+func refMul(a, b Cycles) Cycles {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	a, b = a.norm(), b.norm()
+	neg := (a < 0) != (b < 0)
+	if a.IsInf() || b.IsInf() || a.IsNegInf() || b.IsNegInf() {
+		if neg {
+			return NegInf
+		}
+		return Inf
+	}
+	return clampBig(new(big.Int).Mul(big.NewInt(int64(a)), big.NewInt(int64(b))))
+}
+
+// fuzzSeeds are the corner values every arithmetic target starts from.
+var fuzzSeeds = [][2]int64{
+	{0, 0},
+	{1, -1},
+	{int64(Inf), 5},
+	{5, int64(Inf)},
+	{int64(NegInf), int64(NegInf)},
+	{int64(Inf), int64(NegInf)},
+	{math.MinInt64, 1},
+	{math.MaxInt64 - 1, 1},
+	{-(math.MaxInt64 - 1), -2},
+	{3037000500, 3037000500},
+	{1 << 32, 1 << 31},
+}
+
+func checkDomain(t *testing.T, op string, a, b, got Cycles) {
+	t.Helper()
+	if got < NegInf || got > Inf {
+		t.Fatalf("%s(%d, %d) = %d escapes [NegInf, Inf]", op, int64(a), int64(b), int64(got))
+	}
+}
+
+func FuzzAddSat(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s[0], s[1])
+	}
+	f.Fuzz(func(t *testing.T, x, y int64) {
+		a, b := Cycles(x), Cycles(y)
+		got := a.AddSat(b)
+		if want := refAdd(a, b); got != want {
+			t.Fatalf("AddSat(%d, %d) = %d, want %d", x, y, int64(got), int64(want))
+		}
+		checkDomain(t, "AddSat", a, b, got)
+		if sym := b.AddSat(a); sym != got {
+			t.Fatalf("AddSat not commutative: (%d,%d) %d vs %d", x, y, int64(got), int64(sym))
+		}
+	})
+}
+
+func FuzzSubSat(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s[0], s[1])
+	}
+	f.Fuzz(func(t *testing.T, x, y int64) {
+		a, b := Cycles(x), Cycles(y)
+		got := a.SubSat(b)
+		if want := refSub(a, b); got != want {
+			t.Fatalf("SubSat(%d, %d) = %d, want %d", x, y, int64(got), int64(want))
+		}
+		checkDomain(t, "SubSat", a, b, got)
+	})
+}
+
+func FuzzMulSat(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s[0], s[1])
+	}
+	f.Fuzz(func(t *testing.T, x, y int64) {
+		a, b := Cycles(x), Cycles(y)
+		got := a.MulSat(b)
+		if want := refMul(a, b); got != want {
+			t.Fatalf("MulSat(%d, %d) = %d, want %d", x, y, int64(got), int64(want))
+		}
+		checkDomain(t, "MulSat", a, b, got)
+		if sym := b.MulSat(a); sym != got {
+			t.Fatalf("MulSat not commutative: (%d,%d) %d vs %d", x, y, int64(got), int64(sym))
+		}
+	})
+}
+
+// shiftFuzzSystem is a small fixed 3-action chain with 2 levels and
+// finite deadlines, feasible at qmin — the table path applies and
+// WcQminSlack[0] is finite, so shift feasibility is non-trivial.
+func shiftFuzzSystem() *System {
+	b := NewGraphBuilder()
+	b.AddAction("a")
+	b.AddAction("b")
+	b.AddAction("c")
+	b.AddEdge("a", "b")
+	b.AddEdge("b", "c")
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	levels := NewLevelRange(0, 1)
+	cav := NewTimeFamily(levels, 3, 0)
+	cwc := NewTimeFamily(levels, 3, 0)
+	d := NewTimeFamily(levels, 3, Inf)
+	for a := ActionID(0); a < 3; a++ {
+		cav.Set(0, a, 10)
+		cwc.Set(0, a, 20)
+		cav.Set(1, a, 15)
+		cwc.Set(1, a, 40)
+	}
+	for _, q := range levels {
+		d.Set(q, 2, 100) // end-of-cycle budget; qmin worst case is 60
+	}
+	sys, err := NewSystem(g, levels, cav, cwc, d)
+	if err != nil {
+		panic(err)
+	}
+	return sys
+}
+
+// FuzzShiftRetarget drives a hard-mode table controller through an
+// arbitrary sequence of ShiftDeadlines deltas and uniform Retargets and
+// asserts the dshift bookkeeping: the cumulative shift is the
+// saturating sum of the accepted deltas, a rejected shift leaves the
+// controller untouched, and hard-mode admissibility
+// (WcQminSlack[0] + shift >= 0) is never violated by an accepted state.
+func FuzzShiftRetarget(f *testing.F) {
+	f.Add([]byte{0, 10, 255})
+	f.Add([]byte{0x80, 0x80, 0x80, 0x7F})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		sys := shiftFuzzSystem()
+		c, err := NewController(sys, WithMode(Hard), WithTables(true))
+		if err != nil {
+			t.Fatalf("NewController: %v", err)
+		}
+		if _, ok := c.Program().Evaluator().(*Tables); !ok {
+			t.Fatal("controller not on the table path")
+		}
+		// The qmin suffix slack belongs to the current program: a
+		// rebuild-path Retarget installs new tables for the displaced
+		// deadlines, so re-read it before judging admissibility.
+		slack0 := func() Cycles {
+			return c.Program().Evaluator().(*Tables).WcQminSlack[0]
+		}
+		want := Cycles(0)
+		for i, op := range ops {
+			if i > 64 {
+				break
+			}
+			// Decode a signed delta spanning the whole saturating
+			// range: small steps, huge steps, and the sentinels.
+			var delta Cycles
+			switch op % 5 {
+			case 0:
+				delta = Cycles(int64(op)) * 7
+			case 1:
+				delta = -Cycles(int64(op)) * 7
+			case 2:
+				delta = Inf / 2
+			case 3:
+				delta = NegInf / 2
+			case 4:
+				delta = Inf
+			}
+			if op%7 == 0 {
+				// Exercise the Retarget uniform-shift path with an
+				// explicitly displaced family. Infinite displacement
+				// would not be uniform (finite entries must stay
+				// finite), so bound it.
+				if delta.IsInf() || delta.IsNegInf() {
+					delta = 1000
+				}
+				nd := c.System().D.Clone()
+				finite := 0
+				for _, q := range nd.Levels {
+					for a := ActionID(0); int(a) < len(nd.Fns[0]); a++ {
+						if dl := nd.At(q, a); !dl.IsInf() {
+							nd.Set(q, a, dl.AddSat(delta))
+							finite++
+						}
+					}
+				}
+				if finite == 0 {
+					// Every deadline has saturated to +Inf: the clone is
+					// identical and UniformShift's Δ is 0 by definition.
+					delta = 0
+				}
+				prev := c.DeadlineShift()
+				if err := c.Retarget(nd); err != nil {
+					// A displacement that leaves no feasible schedule
+					// at qmin is rejected (via the rebuild path's
+					// validation); the controller must be untouched.
+					if c.DeadlineShift() != prev {
+						t.Fatalf("failed Retarget mutated dshift: %v != %v", c.DeadlineShift(), prev)
+					}
+					continue
+				}
+				got := c.DeadlineShift()
+				// Retarget may take the rebuild path (shift infeasible
+				// or non-uniform edge); then dshift resets to 0.
+				if got != prev.AddSat(delta) && got != 0 {
+					t.Fatalf("Retarget dshift = %v, want %v or 0", got, prev.AddSat(delta))
+				}
+				want = got
+			} else {
+				if err := c.ShiftDeadlines(delta); err != nil {
+					// Rejected: state must be unchanged.
+					if c.DeadlineShift() != want {
+						t.Fatalf("rejected shift mutated dshift: %v != %v", c.DeadlineShift(), want)
+					}
+					continue
+				}
+				want = want.AddSat(delta)
+				if c.DeadlineShift() != want {
+					t.Fatalf("dshift = %v, want saturating sum %v", c.DeadlineShift(), want)
+				}
+			}
+			if slack0().AddSat(c.DeadlineShift()) < 0 {
+				t.Fatalf("hard-mode admissibility violated: slack %v + shift %v < 0", slack0(), c.DeadlineShift())
+			}
+		}
+	})
+}

@@ -148,10 +148,11 @@ func (it *IterativeTables) AllowedAv(qi, i int, t Cycles) bool {
 		return true
 	}
 	m, j := it.split(i)
-	rem := it.sufAv[qi][j].AddSat(it.bodySumAv[qi].mulSat(Cycles(it.iters - 1 - m)))
+	rem := it.sufAv[qi][j].AddSat(it.bodySumAv[qi].MulSat(Cycles(it.iters - 1 - m)))
 	if rem.IsInf() {
 		return false
 	}
+	//qos:overflow-ok budget and rem are finite non-negative (guarded above); their difference is within (−MaxInt64, MaxInt64]
 	return t <= it.budget-rem
 }
 
@@ -165,11 +166,12 @@ func (it *IterativeTables) AllowedWc(qi, i int, t Cycles) bool {
 		return true
 	}
 	m, j := it.split(i)
-	tail := it.sufWcMin[j+1].AddSat(it.bodySumWcMin.mulSat(Cycles(it.iters - 1 - m)))
+	tail := it.sufWcMin[j+1].AddSat(it.bodySumWcMin.MulSat(Cycles(it.iters - 1 - m)))
 	need := it.cwcAt[qi][j].AddSat(tail)
 	if need.IsInf() {
 		return false
 	}
+	//qos:overflow-ok budget and need are finite non-negative (guarded above); their difference is within (−MaxInt64, MaxInt64]
 	return t <= it.budget-need
 }
 
@@ -210,20 +212,5 @@ func (it *IterativeTables) MaxAdmissibleLevel(i, hi int, t Cycles, soft bool) (i
 // MinFeasibleBudget returns the smallest budget admitting the whole
 // cycle at qmin under worst-case times.
 func (it *IterativeTables) MinFeasibleBudget() Cycles {
-	return it.bodySumWcMin.mulSat(Cycles(it.iters))
-}
-
-// mulSat is saturating multiplication for non-negative cycles.
-func (c Cycles) mulSat(k Cycles) Cycles {
-	if c == 0 || k == 0 {
-		return 0
-	}
-	if c.IsInf() || k.IsInf() {
-		return Inf
-	}
-	p := c * k
-	if p/k != c || p < 0 {
-		return Inf
-	}
-	return p
+	return it.bodySumWcMin.MulSat(Cycles(it.iters))
 }

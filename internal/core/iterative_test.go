@@ -168,22 +168,6 @@ func TestIterativeTablesValidation(t *testing.T) {
 	}
 }
 
-func TestMulSat(t *testing.T) {
-	if Cycles(3).mulSat(4) != 12 {
-		t.Fatal("basic mul wrong")
-	}
-	if Cycles(0).mulSat(Inf) != 0 {
-		t.Fatal("0 * Inf should be 0")
-	}
-	if Inf.mulSat(2) != Inf {
-		t.Fatal("Inf * 2 should be Inf")
-	}
-	big := Cycles(1) << 62
-	if big.mulSat(big) != Inf {
-		t.Fatal("overflow must saturate")
-	}
-}
-
 // Controller with the iterative evaluator: Prop 2.1 safety over the
 // unrolled system.
 func TestPropertyIterativeControllerSafety(t *testing.T) {

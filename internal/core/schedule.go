@@ -28,9 +28,9 @@ func MinSlack(alpha []ActionID, c, d TimeFn, t0 Cycles) Cycles {
 		if d[a].IsInf() {
 			slack = Inf
 		} else if acc.IsInf() {
-			slack = -Inf
+			slack = NegInf
 		} else {
-			slack = d[a] - acc
+			slack = d[a].SubSat(acc)
 		}
 		if slack < minSlack {
 			minSlack = slack

@@ -109,9 +109,12 @@ func latestAdmission(ev Evaluator, qi, i int) (Cycles, bool) {
 		if hi.IsInf() || hi > 1<<60 {
 			return Inf, true
 		}
+		//qos:overflow-ok hi ≤ 2^60 (capped above); doubling stays well under MaxInt64
 		hi *= 2
 	}
+	//qos:overflow-ok 0 ≤ lo < hi ≤ 2^61 throughout; the +1 and midpoint arithmetic cannot overflow
 	for lo+1 < hi {
+		//qos:overflow-ok 0 ≤ lo < hi ≤ 2^61; midpoint arithmetic cannot overflow
 		mid := lo + (hi-lo)/2
 		if Allowed(ev, qi, i, mid) {
 			lo = mid

@@ -58,8 +58,8 @@ func UniformShift(prev, next *TimeFamily) (Cycles, bool) {
 			case p.IsInf() || n.IsInf():
 				return 0, false
 			case !have:
-				delta, have = n-p, true
-			case n-p != delta:
+				delta, have = n.SubSat(p), true
+			case n.SubSat(p) != delta:
 				return 0, false
 			}
 		}

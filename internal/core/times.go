@@ -7,12 +7,29 @@ import (
 
 // Cycles counts platform CPU cycles, the paper's time unit. Deadlines and
 // execution times are expressed in cycles; Inf represents +∞ (an absent
-// deadline, or an unbounded execution time).
+// deadline, or an unbounded execution time) and NegInf represents −∞ (a
+// slack that can never be met).
+//
+// All arithmetic on Cycles outside this file must go through the
+// saturating helpers (AddSat, SubSat, MulSat) or carry a
+// //qos:overflow-ok annotation with a proven bound — enforced by
+// cmd/qoslint's cyclesarith check. The helpers are total over the
+// closed domain [NegInf, Inf]: they saturate at both infinities instead
+// of wrapping, and they normalize the one representable int64 below the
+// domain (math.MinInt64) to NegInf, so no sequence of saturating
+// operations can ever re-enter the wrapping regime.
 type Cycles int64
 
-// Inf is the +∞ value for Cycles. Arithmetic helpers below saturate at
-// Inf instead of overflowing.
+// Inf is the +∞ value for Cycles.
 const Inf Cycles = math.MaxInt64
+
+// NegInf is the −∞ value for Cycles: the saturation point of
+// subtracting past the representable range, and the documented result
+// of SubSat when the subtrahend is +∞. It compares below every finite
+// Cycles value, and re-entering it into the saturating helpers keeps it
+// pinned at −∞ (it does not wrap, unlike the raw -MaxInt64 sentinel it
+// replaces).
+const NegInf Cycles = -Inf
 
 // Mcycle is one million cycles, the unit used in the paper's plots.
 const Mcycle Cycles = 1_000_000
@@ -20,26 +37,93 @@ const Mcycle Cycles = 1_000_000
 // IsInf reports whether c represents +∞.
 func (c Cycles) IsInf() bool { return c == Inf }
 
-// AddSat returns c+d, saturating at Inf.
+// IsNegInf reports whether c represents −∞.
+func (c Cycles) IsNegInf() bool { return c <= NegInf }
+
+// norm maps the single representable value below the domain
+// (math.MinInt64) onto NegInf so every helper is total over int64.
+func (c Cycles) norm() Cycles {
+	if c < NegInf {
+		return NegInf
+	}
+	return c
+}
+
+// AddSat returns c+d, saturating at Inf and NegInf. +∞ dominates:
+// Inf.AddSat(NegInf) is Inf, matching the admissibility reading where a
+// +∞ bound is never binding.
 func (c Cycles) AddSat(d Cycles) Cycles {
 	if c.IsInf() || d.IsInf() {
 		return Inf
 	}
-	if s := c + d; s >= c || d < 0 {
-		return s
+	c, d = c.norm(), d.norm()
+	if c.IsNegInf() || d.IsNegInf() {
+		return NegInf
 	}
-	return Inf
+	s := c + d
+	// Finite operands: overflow flips the sign of a same-sign sum.
+	if c >= 0 && d >= 0 && s < 0 {
+		return Inf
+	}
+	if c < 0 && d < 0 && s >= 0 {
+		return NegInf
+	}
+	return s.norm()
 }
 
-// SubSat returns c-d. Inf minus anything finite stays Inf.
+// SubSat returns c-d, saturating at Inf and NegInf. +∞ dominates the
+// minuend (Inf minus anything is Inf); a +∞ subtrahend against a
+// non-infinite minuend yields NegInf — a finite value can never meet a
+// +∞ cost, and the −∞ result stays pinned under further saturating
+// arithmetic.
 func (c Cycles) SubSat(d Cycles) Cycles {
 	if c.IsInf() {
 		return Inf
 	}
-	if d.IsInf() {
-		return -Inf // pragmatically: a finite value can never meet a +∞ cost
+	c, d = c.norm(), d.norm()
+	if d.IsInf() || c.IsNegInf() {
+		return NegInf
 	}
-	return c - d
+	if d.IsNegInf() {
+		return Inf
+	}
+	s := c - d
+	// Finite operands: overflow flips the sign away from the minuend's.
+	if c >= 0 && d < 0 && s < 0 {
+		return Inf
+	}
+	if c < 0 && d >= 0 && s >= 0 {
+		return NegInf
+	}
+	return s.norm()
+}
+
+// MulSat returns c*k, saturating at Inf and NegInf by the sign of the
+// product. Zero times anything — including either infinity — is zero,
+// matching the "no remaining iterations" reading of the iterative
+// tables that this helper grew out of.
+func (c Cycles) MulSat(k Cycles) Cycles {
+	if c == 0 || k == 0 {
+		return 0
+	}
+	c, k = c.norm(), k.norm()
+	neg := (c < 0) != (k < 0)
+	if c.IsInf() || k.IsInf() || c.IsNegInf() || k.IsNegInf() {
+		if neg {
+			return NegInf
+		}
+		return Inf
+	}
+	p := c * k
+	// Finite non-zero operands, none equal to MinInt64 (norm above), so
+	// the division probe is exact and safe.
+	if p/k != c {
+		if neg {
+			return NegInf
+		}
+		return Inf
+	}
+	return p.norm()
 }
 
 // MinCycles returns the smaller of a and b.

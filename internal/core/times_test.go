@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 )
@@ -191,5 +192,81 @@ func TestPropertyAddSatMonotone(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestMulSat(t *testing.T) {
+	cases := []struct {
+		a, b, want Cycles
+	}{
+		{3, 4, 12},
+		{-3, 4, -12},
+		{3, -4, -12},
+		{-3, -4, 12},
+		{0, Inf, 0},
+		{Inf, 0, 0},
+		{0, NegInf, 0},
+		{Inf, 2, Inf},
+		{Inf, -2, NegInf},
+		{NegInf, 3, NegInf},
+		{NegInf, -3, Inf},
+		{NegInf, NegInf, Inf},
+		{Inf, NegInf, NegInf},
+		// Overflow boundary: floor(sqrt(MaxInt64)) = 3037000499; its
+		// square is finite, one more overflows.
+		{3037000499, 3037000499, 3037000499 * 3037000499},
+		{3037000500, 3037000500, Inf},
+		{-3037000500, 3037000500, NegInf},
+		{1 << 32, 1 << 31, Inf},
+		{1 << 31, 1 << 31, 1 << 62},
+	}
+	for _, tc := range cases {
+		if got := tc.a.MulSat(tc.b); got != tc.want {
+			t.Errorf("%v.MulSat(%v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+// The NegInf sentinel must be absorbing under further saturating
+// arithmetic: once a slack is "never admissible", no subsequent AddSat
+// or SubSat may wrap it back into the finite range. The seed's one-sided
+// AddSat wrapped here (NegInf + negative overflowed past MinInt64),
+// which is the bug this contract test pins down.
+func TestSubSatNegInfContract(t *testing.T) {
+	d := Cycles(5).SubSat(Inf)
+	if d != NegInf {
+		t.Fatalf("5 - Inf = %v, want NegInf", d)
+	}
+	if got := d.AddSat(-10); got != NegInf {
+		t.Errorf("NegInf + (-10) = %v, want NegInf (wrapped?)", got)
+	}
+	if got := d.SubSat(3); got != NegInf {
+		t.Errorf("NegInf - 3 = %v, want NegInf", got)
+	}
+	if got := d.SubSat(NegInf); got != NegInf {
+		t.Errorf("NegInf - NegInf = %v, want NegInf (left operand wins)", got)
+	}
+	if got := d.AddSat(Inf); got != Inf {
+		t.Errorf("NegInf + Inf = %v, want Inf (+inf dominates)", got)
+	}
+	if got := d.MulSat(1); got != NegInf {
+		t.Errorf("NegInf * 1 = %v, want NegInf", got)
+	}
+	if !(d < 0) || d >= 0 {
+		t.Error("NegInf must compare below zero")
+	}
+	if !d.IsNegInf() || d.IsInf() {
+		t.Error("IsNegInf/IsInf classification wrong for NegInf")
+	}
+	// Near-saturated negative plus negative must clamp, not wrap.
+	if got := (-(Inf - 1)).AddSat(-10); got != NegInf {
+		t.Errorf("(-(Inf-1)) + (-10) = %v, want NegInf", got)
+	}
+	// MinInt64 entering from a cast normalises into the closed domain.
+	if got := Cycles(math.MinInt64).AddSat(0); got != NegInf {
+		t.Errorf("norm(MinInt64) = %v, want NegInf", got)
+	}
+	if got := Cycles(7).SubSat(Cycles(math.MinInt64)); got != Inf {
+		t.Errorf("7 - norm(MinInt64) = %v, want Inf", got)
 	}
 }

@@ -95,7 +95,7 @@ func FrameAv(q core.Level) core.Cycles {
 	var s core.Cycles
 	for a := 0; a < NumActions; a++ {
 		av, _ := times(a, q)
-		s += av
+		s = s.AddSat(av)
 	}
 	return s
 }
@@ -105,7 +105,7 @@ func FrameWc(q core.Level) core.Cycles {
 	var s core.Cycles
 	for a := 0; a < NumActions; a++ {
 		_, wc := times(a, q)
-		s += wc
+		s = s.AddSat(wc)
 	}
 	return s
 }
@@ -303,7 +303,7 @@ func DecodeStreamConstant(stream []Bitstream, deadline core.Cycles, q core.Level
 		var t core.Cycles
 		missed := false
 		for _, a := range alpha {
-			t += w.Cost(a, q)
+			t = t.AddSat(w.Cost(a, q))
 			if dl := sys.D.At(q, a); !dl.IsInf() && t > dl {
 				missed = true
 			}

@@ -32,7 +32,7 @@ func ComparePolicies(o Options, k int) ([]PolicyRow, error) {
 	}
 	levels := mpeg.Levels()
 	elasticDemand := func(q core.Level) core.Cycles {
-		return mpeg.MacroblockWc(q) * core.Cycles(o.Macroblocks)
+		return mpeg.MacroblockWc(q).MulSat(core.Cycles(o.Macroblocks))
 	}
 	type entry struct {
 		name string
@@ -254,7 +254,7 @@ type SmoothnessResult struct {
 // Smoothness runs the static analysis on a reduced MPEG frame and
 // cross-checks it against an observed run.
 func Smoothness(nMB int, seed uint64) (*SmoothnessResult, error) {
-	budget := mpeg.MacroblockAv(4) * core.Cycles(nMB)
+	budget := mpeg.MacroblockAv(4).MulSat(core.Cycles(nMB))
 	fs, err := mpeg.BuildSystem(mpeg.SystemConfig{Macroblocks: nMB, Budget: budget})
 	if err != nil {
 		return nil, err
@@ -285,7 +285,7 @@ func Smoothness(nMB int, seed uint64) (*SmoothnessResult, error) {
 		prev = d.Level
 		av := fs.Sys.Cav.At(d.Level, d.Action)
 		wc := fs.Sys.Cwc.At(d.Level, d.Action)
-		actual := av + core.Cycles(0.9*rng.Float64()*float64(wc-av))
+		actual := av.AddSat(core.Cycles(0.9 * rng.Float64() * float64(wc.SubSat(av))))
 		ctrl.Completed(actual)
 	}
 	return out, nil

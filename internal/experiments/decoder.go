@@ -26,7 +26,7 @@ func DecoderComparison(frames int, seed uint64) ([]DecoderRow, core.Cycles, erro
 		frames = 400
 	}
 	stream := decoder.SyntheticStream(frames, 12, seed)
-	deadline := decoder.FrameWc(0) + (decoder.FrameAv(3)-decoder.FrameWc(0))*3/4
+	deadline := decoder.FrameWc(0).AddSat(decoder.FrameAv(3).SubSat(decoder.FrameWc(0)).MulSat(3) / 4)
 	rows := make([]DecoderRow, 0, decoder.NumLevels+1)
 
 	res, err := decoder.DecodeStream(stream, deadline, seed)

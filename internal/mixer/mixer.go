@@ -199,7 +199,7 @@ func (b *Budget) Headroom(spec StreamSpec) int {
 	if b.committed >= b.total {
 		return 0
 	}
-	return int((b.total - b.committed) / spec.MinNeed)
+	return int(b.total.SubSat(b.committed) / spec.MinNeed)
 }
 
 // Rebalance forces an immediate re-partition. Admit, Release, SetTotal
@@ -248,7 +248,7 @@ func (b *Budget) Stats() Stats {
 			st.Degraded = true
 		}
 	}
-	st.Slack = st.Total - st.Committed
+	st.Slack = st.Total.SubSat(st.Committed)
 	return st
 }
 
@@ -265,7 +265,7 @@ func (b *Budget) repartition() {
 	slack := b.total
 	for _, g := range b.grants {
 		g.share = g.spec.MinNeed
-		slack -= g.spec.MinNeed
+		slack = slack.SubSat(g.spec.MinNeed)
 	}
 	if slack <= 0 {
 		return
@@ -278,30 +278,31 @@ func (b *Budget) repartition() {
 		order := make([]*Grant, n)
 		copy(order, b.grants)
 		sort.SliceStable(order, func(i, j int) bool {
-			return order[i].spec.FullNeed-order[i].spec.MinNeed < order[j].spec.FullNeed-order[j].spec.MinNeed
+			return order[i].spec.FullNeed.SubSat(order[i].spec.MinNeed) <
+				order[j].spec.FullNeed.SubSat(order[j].spec.MinNeed)
 		})
 		for _, g := range order {
 			if slack <= 0 {
 				break
 			}
-			give := g.spec.FullNeed - g.share
+			give := g.spec.FullNeed.SubSat(g.share)
 			if give > slack {
 				give = slack
 			}
-			g.share += give
-			slack -= give
+			g.share = g.share.AddSat(give)
+			slack = slack.SubSat(give)
 		}
 		// …then spread what remains toward nominal, admission order.
 		for _, g := range b.grants {
 			if slack <= 0 {
 				break
 			}
-			give := g.spec.Nominal - g.share
+			give := g.spec.Nominal.SubSat(g.share)
 			if give > slack {
 				give = slack
 			}
-			g.share += give
-			slack -= give
+			g.share = g.share.AddSat(give)
+			slack = slack.SubSat(give)
 		}
 	default: // Fair
 		slack = b.waterFill(slack, func(g *Grant) core.Cycles { return g.spec.Nominal }, false)
@@ -333,11 +334,11 @@ func (b *Budget) waterFill(slack core.Cycles, cap func(*Grant) core.Cycles, weig
 				frac = g.spec.Weight / wsum
 			}
 			give := core.Cycles(float64(slack) * frac)
-			if max := cap(g) - g.share; give > max {
+			if max := cap(g).SubSat(g.share); give > max {
 				give = max
 			}
-			g.share += give
-			given += give
+			g.share = g.share.AddSat(give)
+			given = given.AddSat(give)
 		}
 		if given == 0 {
 			// Integer-division dust: hand single cycles out in
@@ -347,9 +348,9 @@ func (b *Budget) waterFill(slack core.Cycles, cap func(*Grant) core.Cycles, weig
 					break
 				}
 				if g.share < cap(g) {
-					g.share++
-					given++
-					slack--
+					g.share = g.share.AddSat(1)
+					given = given.AddSat(1)
+					slack = slack.SubSat(1)
 				}
 			}
 			if given == 0 {
@@ -357,7 +358,7 @@ func (b *Budget) waterFill(slack core.Cycles, cap func(*Grant) core.Cycles, weig
 			}
 			continue
 		}
-		slack -= given
+		slack = slack.SubSat(given)
 	}
 	return 0
 }
@@ -370,7 +371,7 @@ func (b *Budget) release(g *Grant) {
 	for i, h := range b.grants {
 		if h == g {
 			b.grants = append(b.grants[:i], b.grants[i+1:]...)
-			b.committed -= g.spec.MinNeed
+			b.committed = b.committed.SubSat(g.spec.MinNeed)
 			b.dirty = true
 			return
 		}
@@ -410,7 +411,7 @@ func (g *Grant) CycleDelay() core.Cycles {
 	g.b.mu.Lock()
 	defer g.b.mu.Unlock()
 	g.b.ensureShares()
-	return g.spec.Nominal - g.share
+	return g.spec.Nominal.SubSat(g.share)
 }
 
 // SetWeight changes the stream's Weighted-policy bias; shares

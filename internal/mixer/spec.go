@@ -70,7 +70,10 @@ func clampNeed(nominal, slack, lo core.Cycles) core.Cycles {
 	if slack.IsInf() {
 		return lo
 	}
-	need := nominal - slack
+	// SubSat matters here: a NegInf slack (level unmeetable at any
+	// elapsed time) must saturate the need to Inf and clamp to nominal
+	// below; the raw subtraction wrapped and clamped to lo instead.
+	need := nominal.SubSat(slack)
 	if need < lo {
 		need = lo
 	}

@@ -59,7 +59,7 @@ func MacroblockAv(q core.Level) core.Cycles {
 	var s core.Cycles
 	for a := 0; a < NumActions; a++ {
 		av, _ := Times(a, q)
-		s += av
+		s = s.AddSat(av)
 	}
 	return s
 }
@@ -70,7 +70,7 @@ func MacroblockWc(q core.Level) core.Cycles {
 	var s core.Cycles
 	for a := 0; a < NumActions; a++ {
 		_, wc := Times(a, q)
-		s += wc
+		s = s.AddSat(wc)
 	}
 	return s
 }
@@ -132,8 +132,8 @@ func BuildSystem(cfg SystemConfig) (*FrameSystem, error) {
 		base, _ := SplitID(core.ActionID(a))
 		for _, q := range levels {
 			av, wc := Times(base, q)
-			cav.Set(q, core.ActionID(a), av+cfg.DecisionOverhead)
-			cwc.Set(q, core.ActionID(a), wc+cfg.DecisionOverhead)
+			cav.Set(q, core.ActionID(a), av.AddSat(cfg.DecisionOverhead))
+			cwc.Set(q, core.ActionID(a), wc.AddSat(cfg.DecisionOverhead))
 		}
 	}
 	fs := &FrameSystem{Cfg: cfg}
@@ -154,8 +154,8 @@ func BuildSystem(cfg SystemConfig) (*FrameSystem, error) {
 	for a := 0; a < NumActions; a++ {
 		for _, q := range levels {
 			av, wc := Times(a, q)
-			bcav.Set(q, core.ActionID(a), av+cfg.DecisionOverhead)
-			bcwc.Set(q, core.ActionID(a), wc+cfg.DecisionOverhead)
+			bcav.Set(q, core.ActionID(a), av.AddSat(cfg.DecisionOverhead))
+			bcwc.Set(q, core.ActionID(a), wc.AddSat(cfg.DecisionOverhead))
 		}
 	}
 	bd := core.NewTimeFamily(levels, NumActions, core.Inf)
@@ -220,7 +220,7 @@ func (fs *FrameSystem) SetBudget(b core.Cycles, ctrl *core.Controller) error {
 	if b == fs.budget {
 		return nil
 	}
-	delta := b - fs.budget
+	delta := b.SubSat(fs.budget)
 	fs.applyBudget(b)
 	if ctrl == nil {
 		return nil
@@ -245,8 +245,8 @@ func (fs *FrameSystem) SetBudget(b core.Cycles, ctrl *core.Controller) error {
 // at level q (including instrumentation overhead): the budget that
 // makes level q safe from the first decision to the last.
 func (fs *FrameSystem) WorstCaseBudget(q core.Level) core.Cycles {
-	per := MacroblockWc(q) + core.Cycles(NumActions)*fs.Cfg.DecisionOverhead
-	return per * core.Cycles(fs.Cfg.Macroblocks)
+	per := MacroblockWc(q).AddSat(fs.Cfg.DecisionOverhead.MulSat(core.Cycles(NumActions)))
+	return per.MulSat(core.Cycles(fs.Cfg.Macroblocks))
 }
 
 // MinFeasibleBudget returns the smallest budget for which the frame is

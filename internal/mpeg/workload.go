@@ -97,5 +97,5 @@ func clampCycles(c float64, wc core.Cycles) core.Cycles {
 // at constant quality q, before content modulation — a useful reference
 // line when reading the figures.
 func FrameAvCost(n int, q core.Level) core.Cycles {
-	return MacroblockAv(q) * core.Cycles(n)
+	return MacroblockAv(q).MulSat(core.Cycles(n))
 }

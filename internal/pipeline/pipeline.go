@@ -89,7 +89,7 @@ func (r FrameRecord) Latency() core.Cycles {
 	if r.Skipped {
 		return 0
 	}
-	return r.Finish - r.Arrival
+	return r.Finish.SubSat(r.Arrival)
 }
 
 // Result is a full pipeline run.
@@ -300,7 +300,7 @@ func run(cfg Config, grant *mixer.Grant, enc *mpeg.Encoder) (*Result, error) {
 		rec.Start = now
 		// Latency bound P·K: the frame must be finished K periods after
 		// its arrival.
-		budget := rec.Arrival + core.Cycles(cfg.K)*p - now
+		budget := rec.Arrival.AddSat(p.MulSat(core.Cycles(cfg.K))).SubSat(now)
 		if grant != nil {
 			// The stream runs on a share of a mixed CPU budget: it may
 			// not assume more of the period than the mixer granted it,
@@ -310,7 +310,7 @@ func run(cfg Config, grant *mixer.Grant, enc *mpeg.Encoder) (*Result, error) {
 			}
 		}
 		if q := cfg.BudgetQuantum; q > 0 && budget > q {
-			budget -= budget % q
+			budget = budget.SubSat(budget % q)
 		}
 		if budget < minBudget {
 			// Defensive clamp; unreachable for the controlled encoder
@@ -347,7 +347,7 @@ func run(cfg Config, grant *mixer.Grant, enc *mpeg.Encoder) (*Result, error) {
 		}
 		lastEncode = frep.Elapsed
 		// Frames arriving during the encode fill (or overflow) the buffer.
-		now += frep.Elapsed
+		now = now.AddSat(frep.Elapsed)
 		deliver(now)
 		rec.Finish = now
 		rec.Encode = frep.Elapsed
@@ -393,7 +393,7 @@ func applyDisplay(cfg Config, src *video.Source, res *Result) {
 	p := src.Period()
 	for i := range res.Records {
 		rec := &res.Records[i]
-		rec.DisplayTime = rec.Arrival + core.Cycles(cfg.K)*p
+		rec.DisplayTime = rec.Arrival.AddSat(p.MulSat(core.Cycles(cfg.K)))
 		if !rec.Skipped && rec.Finish > rec.DisplayTime {
 			rec.Stalled = true
 			res.DisplayStalls++

@@ -103,21 +103,21 @@ func (e *Executor) RunControlled(ctrl Driver, w Workload, sys *core.System) (Rep
 		// Decision cost is paid before the action runs, exactly as
 		// instrumented code would.
 		e.Clock.Advance(e.DecisionOverhead)
-		rep.CtrlCycles += e.DecisionOverhead
+		rep.CtrlCycles = rep.CtrlCycles.AddSat(e.DecisionOverhead)
 
 		cost := w.Cost(d.Action, d.Level)
 		e.Clock.Advance(cost)
-		rep.WorkCycles += cost
+		rep.WorkCycles = rep.WorkCycles.AddSat(cost)
 		rep.Actions++
 		rep.LevelSum += int64(d.LevelIndex)
 		if d.Fallback {
 			rep.Fallbacks++
 		}
 
-		elapsed := e.Clock.Now() - start
+		elapsed := e.Clock.Now().SubSat(start)
 		// The controller's view of time includes its own overhead: it
 		// reads the cycle register, it does not introspect.
-		ctrl.Completed(elapsed - ctrl.Elapsed())
+		ctrl.Completed(elapsed.SubSat(ctrl.Elapsed()))
 
 		if dl := sys.D.At(d.Level, d.Action); !dl.IsInf() && elapsed > dl {
 			rep.Misses++
@@ -126,7 +126,7 @@ func (e *Executor) RunControlled(ctrl Driver, w Workload, sys *core.System) (Rep
 			rep.Trace = append(rep.Trace, Step{Action: d.Action, Level: d.Level, Cost: cost, Finish: elapsed})
 		}
 	}
-	rep.Elapsed = e.Clock.Now() - start
+	rep.Elapsed = e.Clock.Now().SubSat(start)
 	return rep, nil
 }
 
@@ -146,10 +146,10 @@ func (e *Executor) RunConstant(sys *core.System, q core.Level, w Workload) Repor
 	for _, a := range alpha {
 		cost := w.Cost(a, q)
 		e.Clock.Advance(cost)
-		rep.WorkCycles += cost
+		rep.WorkCycles = rep.WorkCycles.AddSat(cost)
 		rep.Actions++
 		rep.LevelSum += int64(qi)
-		elapsed := e.Clock.Now() - start
+		elapsed := e.Clock.Now().SubSat(start)
 		if !d[a].IsInf() && elapsed > d[a] {
 			rep.Misses++
 		}
@@ -157,6 +157,6 @@ func (e *Executor) RunConstant(sys *core.System, q core.Level, w Workload) Repor
 			rep.Trace = append(rep.Trace, Step{Action: a, Level: q, Cost: cost, Finish: elapsed})
 		}
 	}
-	rep.Elapsed = e.Clock.Now() - start
+	rep.Elapsed = e.Clock.Now().SubSat(start)
 	return rep
 }

@@ -49,6 +49,6 @@ func (m OverheadModel) Estimate(actions, levels int) OverheadEstimate {
 	return OverheadEstimate{
 		CodeBytes:      actions * m.CodeBytesPerAction,
 		TableBytes:     actions * levels * m.TableBytesPerEntry,
-		CyclesPerCycle: core.Cycles(actions) * m.DecisionCycles,
+		CyclesPerCycle: m.DecisionCycles.MulSat(core.Cycles(actions)),
 	}
 }

@@ -213,5 +213,5 @@ func (s *Source) Frame(i int) Frame {
 
 // ArrivalTime returns the cycle at which the camera delivers frame i.
 func (s *Source) ArrivalTime(i int) core.Cycles {
-	return core.Cycles(i) * s.cfg.Period
+	return s.cfg.Period.MulSat(core.Cycles(i))
 }
