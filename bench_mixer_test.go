@@ -86,17 +86,21 @@ func (m *mixerBench) serve(tb testing.TB, periods int) float64 {
 			rng := qos.NewRNG(uint64(i + 1))
 			s := m.rt.AcquireBudgeted(m.grants[i])
 			defer m.rt.Release(s)
+			s.SetLean(true) // steady-state serving: no per-cycle snapshots
 			sys := m.sys
+			// One workload closure per stream, hoisted out of the period
+			// loop so the loop itself allocates nothing.
+			work := func(a qos.ActionID, q qos.Level) qos.Cycles {
+				av := sys.Cav.At(q, a)
+				wc := sys.Cwc.At(q, a)
+				if wc.IsInf() {
+					wc = av * 2
+				}
+				return av + qos.Cycles(rng.Float64()*float64(wc-av))
+			}
 			for p := 0; p < periods; p++ {
 				s.Reset()
-				res, err := s.RunFunc(func(a qos.ActionID, q qos.Level) qos.Cycles {
-					av := sys.Cav.At(q, a)
-					wc := sys.Cwc.At(q, a)
-					if wc.IsInf() {
-						wc = av * 2
-					}
-					return av + qos.Cycles(rng.Float64()*float64(wc-av))
-				})
+				res, err := s.RunFunc(work)
 				if err != nil {
 					tb.Error(err)
 					return

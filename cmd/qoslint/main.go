@@ -1,24 +1,31 @@
 // Command qoslint is the project's static analyzer for Cycles-
-// arithmetic safety: raw +/-/* on core.Cycles (cyclesarith), ordered
-// comparisons downstream of unsaturated Inf arithmetic (infguard),
-// mutex self-deadlocks in the shared-budget mixer (mixerlock), and
-// direct access to the threshold engine's position-major slabs
-// (slabaccess). It is stdlib-only — go/parser and go/types with the
-// compiler's source importer — so it runs anywhere the Go toolchain
-// does, with no module downloads.
+// arithmetic, concurrency and hot-path purity: raw +/-/* on
+// core.Cycles (cyclesarith), ordered comparisons downstream of
+// unsaturated Inf arithmetic (infguard), mutex self-deadlocks in the
+// shared-budget mixer (mixerlock), direct access to the threshold
+// engine's position-major slabs (slabaccess), mixed atomic/plain
+// variable access (atomicsafety), lock-acquisition-order cycles and
+// RLock→Lock upgrades (lockorder), and allocating constructs reachable
+// from //qos:hotpath roots (hotalloc). It is stdlib-only — go/parser
+// and go/types with the compiler's source importer — so it runs
+// anywhere the Go toolchain does, with no module downloads.
 //
 // Usage:
 //
-//	go run ./cmd/qoslint ./...
+//	go run ./cmd/qoslint [-json] [-check name[,name...]] ./...
 //
-// Findings print as file:line:col: check: message, one per line, and
-// the exit status is 1 when there are any (2 on usage or load errors).
-// Suppress an arithmetic finding with //qos:overflow-ok <reason> on the
-// same line or the line above; see README "Static analysis & overflow
-// envelope" for the rules.
+// Findings print as file:line:col: check: message, one per line (-json
+// switches to a JSON array of objects with file/line/col/check/message
+// fields), and the exit status is 1 when there are any (2 on usage or
+// load errors). -check restricts the report to the named checks.
+// Suppress an arithmetic finding with //qos:overflow-ok <reason> and a
+// hot-path allocation with //qos:alloc-ok <reason> on the same line or
+// the line above; see README "Static analysis & overflow envelope" for
+// the rules.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -35,14 +42,24 @@ func main() {
 func realMain(args []string, stdout, stderr *os.File) int {
 	fs := flag.NewFlagSet("qoslint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
+	asJSON := fs.Bool("json", false, "emit findings as a JSON array instead of file:line:col lines")
+	checkList := fs.String("check", "", "comma-separated list of checks to report (default: all)")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: qoslint [packages]\n\n"+
+		fmt.Fprintf(stderr, "usage: qoslint [-json] [-check name[,name...]] [packages]\n\n"+
 			"Analyzes the surrounding module's non-test Go code. Package\n"+
 			"patterns restrict which packages' findings are reported:\n"+
 			"'./...' (default) for all, or relative directories like\n"+
-			"./internal/core.\n")
+			"./internal/core.\n\n"+
+			"  -json   emit a JSON array of {file,line,col,check,message}\n"+
+			"  -check  restrict the report to the named checks, one or more of:\n"+
+			"          %s\n", strings.Join(analysis.CheckNames, ", "))
 	}
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	enabled, err := parseCheckFilter(*checkList)
+	if err != nil {
+		fmt.Fprintln(stderr, "qoslint:", err)
 		return 2
 	}
 
@@ -66,20 +83,92 @@ func realMain(args []string, stdout, stderr *os.File) int {
 		fmt.Fprintln(stderr, "qoslint:", err)
 		return 2
 	}
+	// The whole module is always analyzed — the module-wide checks
+	// (atomicsafety, lockorder, hotalloc) need every package to see
+	// cross-package mixed access, cycles and reachability — and the
+	// patterns then restrict which packages' findings are *reported*.
+	reportDirs := make(map[string]bool, len(selected))
+	for _, p := range selected {
+		reportDirs[p.Dir] = true
+	}
 
-	diags := analysis.Analyze(selected)
-	for _, d := range diags {
-		pos := d.Pos
-		if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-			pos.Filename = rel
+	var diags []analysis.Diagnostic
+	for _, d := range analysis.Analyze(pkgs) {
+		if !reportDirs[filepath.Dir(d.Pos.Filename)] {
+			continue
 		}
-		fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", pos.Filename, pos.Line, pos.Column, d.Check, d.Message)
+		if enabled != nil && !enabled[d.Check] {
+			continue
+		}
+		if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			d.Pos.Filename = rel
+		}
+		diags = append(diags, d)
+	}
+	if *asJSON {
+		if err := writeJSON(stdout, diags); err != nil {
+			fmt.Fprintln(stderr, "qoslint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "qoslint: %d finding(s)\n", len(diags))
 		return 1
 	}
 	return 0
+}
+
+// parseCheckFilter validates a -check value against the known check
+// names. nil means "all checks".
+func parseCheckFilter(list string) (map[string]bool, error) {
+	if list == "" {
+		return nil, nil
+	}
+	known := make(map[string]bool, len(analysis.CheckNames))
+	for _, name := range analysis.CheckNames {
+		known[name] = true
+	}
+	enabled := make(map[string]bool)
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		if !known[name] {
+			return nil, fmt.Errorf("unknown check %q (known: %s)", name, strings.Join(analysis.CheckNames, ", "))
+		}
+		enabled[name] = true
+	}
+	return enabled, nil
+}
+
+// jsonDiagnostic is the -json wire shape, stable for CI artifact
+// consumers.
+type jsonDiagnostic struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
+// writeJSON renders the findings as a JSON array ("[]" when clean, so
+// consumers can always parse the output).
+func writeJSON(w *os.File, diags []analysis.Diagnostic) error {
+	out := make([]jsonDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiagnostic{
+			File:    filepath.ToSlash(d.Pos.Filename),
+			Line:    d.Pos.Line,
+			Col:     d.Pos.Column,
+			Check:   d.Check,
+			Message: d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 // selectPackages filters the loaded packages to the requested patterns.

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -16,6 +17,29 @@ func devNull(t *testing.T) *os.File {
 	}
 	t.Cleanup(func() { f.Close() })
 	return f
+}
+
+// capture returns a temp file to collect output, and a reader for it.
+func capture(t *testing.T) (*os.File, func() string) {
+	t.Helper()
+	f, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f, func() string {
+		data, err := os.ReadFile(f.Name())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+}
+
+// chdirMinimod enters the one-finding fixture module under testdata.
+func chdirMinimod(t *testing.T) {
+	t.Helper()
+	t.Chdir(filepath.Join("testdata", "minimod"))
 }
 
 // The module's own tree is the primary regression surface: qoslint over
@@ -37,6 +61,59 @@ func TestUnmatchedPattern(t *testing.T) {
 	null := devNull(t)
 	if code := realMain([]string{"./no/such/dir"}, null, null); code != 2 {
 		t.Fatalf("qoslint ./no/such/dir = exit %d, want 2", code)
+	}
+}
+
+// TestJSONOutput runs -json over the minimod fixture and checks the
+// wire shape: exactly one cyclesarith finding.
+func TestJSONOutput(t *testing.T) {
+	chdirMinimod(t)
+	out, read := capture(t)
+	if code := realMain([]string{"-json", "./..."}, out, devNull(t)); code != 1 {
+		t.Fatalf("qoslint -json ./... = exit %d, want 1", code)
+	}
+	var diags []jsonDiagnostic
+	if err := json.Unmarshal([]byte(read()), &diags); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, read())
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d findings, want 1: %+v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Check != "cyclesarith" || d.File != "use.go" || d.Line == 0 || d.Col == 0 || d.Message == "" {
+		t.Errorf("unexpected finding: %+v", d)
+	}
+}
+
+// TestJSONEmpty: a fully filtered run still emits a parseable array.
+func TestJSONEmpty(t *testing.T) {
+	chdirMinimod(t)
+	out, read := capture(t)
+	if code := realMain([]string{"-json", "-check", "mixerlock", "./..."}, out, devNull(t)); code != 0 {
+		t.Fatalf("exit %d, want 0", code)
+	}
+	var diags []jsonDiagnostic
+	if err := json.Unmarshal([]byte(read()), &diags); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, read())
+	}
+	if len(diags) != 0 {
+		t.Errorf("got %d findings, want 0", len(diags))
+	}
+}
+
+// TestCheckFilter: filtering to the finding's check keeps exit 1;
+// filtering it away exits 0; an unknown name is a usage error.
+func TestCheckFilter(t *testing.T) {
+	chdirMinimod(t)
+	null := devNull(t)
+	if code := realMain([]string{"-check", "cyclesarith", "./..."}, null, null); code != 1 {
+		t.Errorf("-check cyclesarith = exit %d, want 1", code)
+	}
+	if code := realMain([]string{"-check", "infguard,mixerlock", "./..."}, null, null); code != 0 {
+		t.Errorf("-check infguard,mixerlock = exit %d, want 0", code)
+	}
+	if code := realMain([]string{"-check", "nosuchcheck", "./..."}, null, null); code != 2 {
+		t.Errorf("-check nosuchcheck = exit %d, want 2", code)
 	}
 }
 

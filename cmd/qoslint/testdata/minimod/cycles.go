@@ -1,0 +1,17 @@
+// Package minimod is a one-package module for qoslint CLI tests: a
+// miniature Cycles domain plus exactly one raw-arithmetic finding.
+package minimod
+
+type Cycles int64
+
+const Inf Cycles = 1<<63 - 1
+
+// AddSat saturates instead of wrapping; raw arithmetic is legal in the
+// declaring file.
+func (c Cycles) AddSat(d Cycles) Cycles {
+	s := c + d
+	if c > 0 && d > 0 && s < 0 {
+		return Inf
+	}
+	return s
+}

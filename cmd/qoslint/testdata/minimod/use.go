@@ -1,0 +1,7 @@
+package minimod
+
+// Total carries the module's one expected finding: a raw add outside
+// the declaring file.
+func Total(a, b Cycles) Cycles {
+	return a + b
+}

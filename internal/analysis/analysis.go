@@ -1,9 +1,9 @@
 // Package analysis implements qoslint, the project's static analyzer
-// for Cycles-arithmetic safety. It is built on go/parser and go/types
-// only — no module dependencies — so it runs in any sandbox that has a
-// Go toolchain.
+// for Cycles-arithmetic, concurrency and hot-path purity. It is built
+// on go/parser and go/types only — no module dependencies — so it runs
+// in any sandbox that has a Go toolchain.
 //
-// Four checks:
+// Seven checks:
 //
 //   - cyclesarith: raw +, -, * (including +=, -=, *=, ++ and --) where
 //     an operand's type resolves to a defined integer type named Cycles,
@@ -14,23 +14,45 @@
 //     from raw (unsaturated) Cycles arithmetic reachable from an Inf
 //     source; on wraparound such comparisons silently invert.
 //   - mixerlock: an intra-package call-graph check that no function
-//     calls, directly or transitively, a function that acquires a
-//     sync.Mutex/RWMutex field while the caller already holds one —
-//     the self-deadlock the shared-budget mixer's comment discipline
-//     ("callers hold b.mu") used to be the only guard against.
+//     calls, directly or transitively through same-package helpers, a
+//     function that acquires a sync.Mutex/RWMutex field while the
+//     caller already holds one — the self-deadlock the shared-budget
+//     mixer's comment discipline ("callers hold b.mu") used to be the
+//     only guard against. Read locks (RLock) are tracked separately
+//     from write locks.
 //   - slabaccess: any use of the position-major slack slab fields
 //     (avSlack, wcSlack, minSlack) outside the file that declares them;
 //     everything else must go through the SlackAvAt / SlackWcAt /
 //     CombinedSlackAt accessors so the slab layout stays an
 //     implementation detail.
+//   - atomicsafety: a variable ever accessed through sync/atomic — or
+//     declared with an atomic.* value type — must never be read or
+//     written plainly anywhere in the module; the mixed (racy) access
+//     is reported at the plain-access site.
+//   - lockorder: a module-wide lock-acquisition-order graph over
+//     distinct mutex identities; cycles (the ABBA deadlock) and
+//     RLock→Lock upgrades on the same mutex are reported.
+//   - hotalloc: functions marked //qos:hotpath are decision-path roots;
+//     every allocating construct reachable from a root through the
+//     intra-module call graph is reported, unless justified with
+//     //qos:alloc-ok <reason>.
 //
 // The arithmetic checks (cyclesarith, infguard) honour the annotation
 //
 //	//qos:overflow-ok <reason>
 //
+// and hotalloc honours
+//
+//	//qos:alloc-ok <reason>
+//
 // on the finding's line or the line directly above it. The reason is
-// mandatory: a bare annotation is itself reported. The architectural
-// checks (mixerlock, slabaccess) are not suppressible.
+// mandatory: a bare annotation is itself reported. An annotation binds
+// to exactly one line — its own line when a suppressible finding sits
+// there, otherwise the line below — so one annotation can never blanket
+// two distinct statements. An annotation that suppresses nothing (a
+// stale suppression surviving a refactor) is itself a finding. The
+// architectural checks (mixerlock, slabaccess, atomicsafety, lockorder)
+// are not suppressible.
 package analysis
 
 import (
@@ -43,12 +65,29 @@ import (
 
 // Check names, as they appear in diagnostics.
 const (
-	CheckCyclesArith = "cyclesarith"
-	CheckInfGuard    = "infguard"
-	CheckMixerLock   = "mixerlock"
-	CheckSlabAccess  = "slabaccess"
-	CheckAnnotation  = "annotation"
+	CheckCyclesArith  = "cyclesarith"
+	CheckInfGuard     = "infguard"
+	CheckMixerLock    = "mixerlock"
+	CheckSlabAccess   = "slabaccess"
+	CheckAtomicSafety = "atomicsafety"
+	CheckLockOrder    = "lockorder"
+	CheckHotAlloc     = "hotalloc"
+	CheckAnnotation   = "annotation"
 )
+
+// CheckNames lists every check name a Diagnostic can carry, in the
+// order the documentation presents them. The CLI's -check flag
+// validates against this list.
+var CheckNames = []string{
+	CheckCyclesArith,
+	CheckInfGuard,
+	CheckMixerLock,
+	CheckSlabAccess,
+	CheckAtomicSafety,
+	CheckLockOrder,
+	CheckHotAlloc,
+	CheckAnnotation,
+}
 
 // Diagnostic is one finding.
 type Diagnostic struct {
@@ -61,18 +100,14 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
 }
 
-// Analyze runs every check over the loaded packages and returns the
-// findings sorted by position.
-func Analyze(pkgs []*Package) []Diagnostic {
-	var ds []Diagnostic
-	for _, p := range pkgs {
-		ann := collectAnnotations(p)
-		ds = append(ds, ann.diags...)
-		ds = append(ds, checkCyclesArith(p, ann)...)
-		ds = append(ds, checkInfGuard(p, ann)...)
-		ds = append(ds, checkMixerLock(p)...)
-		ds = append(ds, checkSlabAccess(p)...)
-	}
+// finding is a diagnostic plus the annotation kind that may suppress it
+// ("" for the architectural checks, which are not suppressible).
+type finding struct {
+	d        Diagnostic
+	suppress string // annOverflowOK, annAllocOK, or ""
+}
+
+func sortDiagnostics(ds []Diagnostic) {
 	sort.Slice(ds, func(i, j int) bool {
 		a, b := ds[i].Pos, ds[j].Pos
 		if a.Filename != b.Filename {
@@ -84,63 +119,210 @@ func Analyze(pkgs []*Package) []Diagnostic {
 		if a.Column != b.Column {
 			return a.Column < b.Column
 		}
-		return ds[i].Check < ds[j].Check
+		if ds[i].Check != ds[j].Check {
+			return ds[i].Check < ds[j].Check
+		}
+		return ds[i].Message < ds[j].Message
 	})
+}
+
+// Analyze runs every check over the loaded packages and returns the
+// findings sorted by position. The per-package checks (cyclesarith,
+// infguard, mixerlock, slabaccess) see one package at a time; the
+// module-wide checks (atomicsafety, lockorder, hotalloc) see the whole
+// package set, so cross-package mixed access, lock-order cycles and
+// hot-path reachability are visible.
+func Analyze(pkgs []*Package) []Diagnostic {
+	ann := collectAnnotations(pkgs)
+	var raw []finding
+	for _, p := range pkgs {
+		raw = append(raw, checkCyclesArith(p)...)
+		raw = append(raw, checkInfGuard(p)...)
+		raw = append(raw, checkMixerLock(p)...)
+		raw = append(raw, checkSlabAccess(p)...)
+	}
+	raw = append(raw, checkAtomicSafety(pkgs)...)
+	raw = append(raw, checkLockOrder(pkgs)...)
+	raw = append(raw, checkHotAlloc(pkgs, ann)...)
+	ds := ann.resolve(raw)
+	sortDiagnostics(ds)
 	return ds
 }
 
-// annotationPrefix is the suppression marker for the arithmetic checks.
-const annotationPrefix = "qos:overflow-ok"
+// Annotation kinds (the suffix after the shared //qos: marker).
+const (
+	annOverflowOK = "overflow-ok"
+	annAllocOK    = "alloc-ok"
+)
 
-// annotations records, per file, the lines carrying a well-formed
-// //qos:overflow-ok annotation. A finding on line L is suppressed when
-// an annotation sits on L (trailing comment) or on L-1 (a comment line
-// of its own above the statement).
-type annotations struct {
-	fset  *token.FileSet
-	lines map[string]map[int]bool // filename -> annotated lines
-	diags []Diagnostic            // malformed annotations
+// annotationReason documents, per kind, what the mandatory reason must
+// argue.
+var annotationReason = map[string]string{
+	annOverflowOK: "the proven bound or why overflow is impossible",
+	annAllocOK:    "why the allocation is acceptable or unreachable on the decision path",
 }
 
-func collectAnnotations(p *Package) *annotations {
-	a := &annotations{fset: p.Fset, lines: make(map[string]map[int]bool)}
-	for _, f := range p.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
-				if !strings.HasPrefix(text, annotationPrefix) {
-					continue
+// annotation is one well-formed //qos:overflow-ok or //qos:alloc-ok
+// comment.
+type annotation struct {
+	pos  token.Position
+	kind string
+	// used is set when the annotation suppressed at least one finding
+	// or justified a hot-path call edge; stale annotations are reported.
+	used bool
+	// edgeLine, when non-zero, is the line of the call edge the
+	// annotation justified; the annotation is pinned to that line (it
+	// still suppresses findings there — a pruned call can itself box or
+	// pack variadics — but never drifts further).
+	edgeLine int
+}
+
+// annotations indexes the module's suppression comments by file and
+// line (at most one per line; a later annotation on the same line wins)
+// and carries the diagnostics for malformed ones.
+type annotations struct {
+	at    map[string]map[int]*annotation // filename -> line -> annotation
+	diags []Diagnostic                   // malformed annotations
+}
+
+func collectAnnotations(pkgs []*Package) *annotations {
+	a := &annotations{at: make(map[string]map[int]*annotation)}
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					rest, ok := strings.CutPrefix(text, "qos:")
+					if !ok {
+						continue
+					}
+					var kind string
+					for _, k := range []string{annOverflowOK, annAllocOK} {
+						if strings.HasPrefix(rest, k) {
+							kind = k
+							break
+						}
+					}
+					if kind == "" {
+						continue
+					}
+					pos := p.Fset.Position(c.Pos())
+					reason := strings.TrimSpace(strings.TrimPrefix(rest, kind))
+					if reason == "" {
+						a.diags = append(a.diags, Diagnostic{
+							Pos:     pos,
+							Check:   CheckAnnotation,
+							Message: fmt.Sprintf("//qos:%s requires a reason (%s)", kind, annotationReason[kind]),
+						})
+						continue
+					}
+					m := a.at[pos.Filename]
+					if m == nil {
+						m = make(map[int]*annotation)
+						a.at[pos.Filename] = m
+					}
+					m[pos.Line] = &annotation{pos: pos, kind: kind}
 				}
-				pos := p.Fset.Position(c.Pos())
-				reason := strings.TrimSpace(strings.TrimPrefix(text, annotationPrefix))
-				if reason == "" {
-					a.diags = append(a.diags, Diagnostic{
-						Pos:     pos,
-						Check:   CheckAnnotation,
-						Message: "//qos:overflow-ok requires a reason (the proven bound or why overflow is impossible)",
-					})
-					continue
-				}
-				m := a.lines[pos.Filename]
-				if m == nil {
-					m = make(map[int]bool)
-					a.lines[pos.Filename] = m
-				}
-				m[pos.Line] = true
 			}
 		}
 	}
 	return a
 }
 
-// suppressed reports whether a finding at pos is covered by an
-// annotation on its own line or on the line above.
-func (a *annotations) suppressed(pos token.Position) bool {
-	m := a.lines[pos.Filename]
-	return m != nil && (m[pos.Line] || m[pos.Line-1])
+// allocOKAt returns the alloc-ok annotation sitting exactly on
+// file:line, or nil. hotalloc consults it while walking the call
+// graph: a justified edge is not descended into, so one reasoned
+// annotation at a call site covers the callee's whole subtree.
+func (a *annotations) allocOKAt(file string, line int) *annotation {
+	if m := a.at[file]; m != nil {
+		if ann := m[line]; ann != nil && ann.kind == annAllocOK {
+			return ann
+		}
+	}
+	return nil
+}
+
+// resolve applies the suppression annotations to the raw findings and
+// returns the surviving diagnostics plus the annotation hygiene ones.
+//
+// Binding is one-line-per-annotation: an annotation on line L binds to
+// L when a finding of its kind sits on L (a trailing comment), and to
+// L+1 otherwise (a comment line of its own above the statement). A
+// trailing annotation therefore no longer leaks onto the next line. An
+// annotation that ends up suppressing nothing — and justified no
+// hot-path call edge — is reported as stale.
+func (a *annotations) resolve(raw []finding) []Diagnostic {
+	// Index the suppressible findings by file/line/kind.
+	type key struct {
+		file string
+		line int
+		kind string
+	}
+	have := make(map[key]bool)
+	for _, f := range raw {
+		if f.suppress != "" {
+			have[key{f.d.Pos.Filename, f.d.Pos.Line, f.suppress}] = true
+		}
+	}
+	// Bind each annotation to exactly one line; edge-justifying
+	// annotations are pinned to their call line.
+	bound := make(map[key]*annotation)
+	for file, lines := range a.at {
+		for line, ann := range lines {
+			target := line
+			if ann.edgeLine != 0 {
+				target = ann.edgeLine
+			} else if !have[key{file, line, ann.kind}] {
+				target = line + 1
+			}
+			bound[key{file, target, ann.kind}] = ann
+		}
+	}
+	out := append([]Diagnostic(nil), a.diags...)
+	for _, f := range raw {
+		if f.suppress != "" {
+			if ann := bound[key{f.d.Pos.Filename, f.d.Pos.Line, f.suppress}]; ann != nil {
+				ann.used = true
+				continue
+			}
+		}
+		out = append(out, f.d)
+	}
+	for _, lines := range a.at {
+		for _, ann := range lines {
+			if !ann.used {
+				out = append(out, Diagnostic{
+					Pos:     ann.pos,
+					Check:   CheckAnnotation,
+					Message: fmt.Sprintf("//qos:%s suppresses nothing; remove the stale annotation", ann.kind),
+				})
+			}
+		}
+	}
+	return out
 }
 
 // nodeLine returns the position of n's first token.
 func nodeLine(fset *token.FileSet, n ast.Node) token.Position {
 	return fset.Position(n.Pos())
+}
+
+// inspectWithStack walks n like ast.Inspect but hands the visitor the
+// stack of ancestor nodes (outermost first, not including n itself).
+// The checks that need syntactic context — is this selector the operand
+// of &, is this defer inside a loop — use it instead of re-deriving
+// parents.
+func inspectWithStack(n ast.Node, visit func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		ok := visit(m, stack)
+		if ok {
+			stack = append(stack, m)
+		}
+		return ok
+	})
 }

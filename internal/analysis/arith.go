@@ -84,19 +84,19 @@ func satName(op token.Token) string {
 // checkCyclesArith reports raw +, -, * (and their assignment and
 // inc/dec forms) on Cycles operands outside the type's declaring file,
 // unless the statement carries a //qos:overflow-ok annotation.
-func checkCyclesArith(p *Package, ann *annotations) []Diagnostic {
-	var ds []Diagnostic
+func checkCyclesArith(p *Package) []finding {
+	var ds []finding
 	report := func(n ast.Node, op token.Token, named *types.Named) {
 		pos := nodeLine(p.Fset, n)
-		if pos.Filename == declFile(p.Fset, named.Obj()) || ann.suppressed(pos) {
+		if pos.Filename == declFile(p.Fset, named.Obj()) {
 			return
 		}
-		ds = append(ds, Diagnostic{
+		ds = append(ds, finding{suppress: annOverflowOK, d: Diagnostic{
 			Pos:   pos,
 			Check: CheckCyclesArith,
 			Message: fmt.Sprintf("raw %s on %s can overflow; use %s or annotate //qos:overflow-ok <reason>",
 				opName(op), named.Obj().Name(), satName(op)),
-		})
+		}})
 	}
 	for _, f := range p.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -224,8 +224,8 @@ func (tr *infTracker) rawTainted(e ast.Expr) bool {
 // raw Cycles arithmetic reachable from an Inf source. Saturating ops
 // (AddSat & co) are call expressions and never taint; conversions and
 // calls act as barriers, keeping the check local and low-noise.
-func checkInfGuard(p *Package, ann *annotations) []Diagnostic {
-	var ds []Diagnostic
+func checkInfGuard(p *Package) []finding {
+	var ds []finding
 	for _, f := range p.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			var body *ast.BlockStmt
@@ -275,15 +275,15 @@ func checkInfGuard(p *Package, ann *annotations) []Diagnostic {
 						return true
 					}
 					pos := nodeLine(p.Fset, s)
-					if pos.Filename == declFile(p.Fset, named.Obj()) || ann.suppressed(pos) {
+					if pos.Filename == declFile(p.Fset, named.Obj()) {
 						return true
 					}
-					ds = append(ds, Diagnostic{
+					ds = append(ds, finding{suppress: annOverflowOK, d: Diagnostic{
 						Pos:   pos,
 						Check: CheckInfGuard,
 						Message: "ordered comparison on unsaturated Cycles arithmetic reachable from Inf; " +
 							"overflow flips the sign — saturate the arithmetic first or annotate //qos:overflow-ok <reason>",
-					})
+					}})
 				}
 				return true
 			})

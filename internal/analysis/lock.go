@@ -12,7 +12,12 @@ import (
 // the caller already holds one. The shared-budget mixer enforces this
 // only by comment discipline ("callers hold b.mu"); this makes the
 // discipline mechanical. Re-locking a mutex already held in the same
-// function is reported too.
+// function is reported too, with read locks (RLock) tracked as a
+// distinct acquire kind from write locks: a recursive RLock deadlocks
+// as soon as a writer queues between the two, and an RLock taken while
+// the write lock is held never returns, so both are reported here.
+// The remaining cross-kind hazard — upgrading RLock to Lock on the
+// same mutex — is the lockorder check's job.
 //
 // The analysis is deliberately intra-procedural about lock state: a
 // sequential walk of each body tracks Lock/Unlock on mutex-typed
@@ -22,7 +27,7 @@ import (
 // function that may acquire any mutex is reported — which is exact for
 // single-mutex packages like the mixer and errs on the loud side
 // elsewhere.
-func checkMixerLock(p *Package) []Diagnostic {
+func checkMixerLock(p *Package) []finding {
 	funcs := packageFuncs(p)
 	if len(funcs) == 0 {
 		return nil
@@ -40,7 +45,7 @@ func checkMixerLock(p *Package) []Diagnostic {
 			if !ok {
 				return true
 			}
-			if kind, _ := lockCallKind(p, call); kind == lockAcquire {
+			if op, _ := lockCallKind(p, call); op == opLock || op == opRLock {
 				acquires[fn] = true
 			}
 			if callee := staticCallee(p, call); callee != nil {
@@ -76,13 +81,13 @@ func checkMixerLock(p *Package) []Diagnostic {
 		}
 	}
 
-	var ds []Diagnostic
+	var ds []finding
 	for fn, decl := range funcs {
 		if decl.Body == nil {
 			continue
 		}
 		w := &lockWalker{p: p, funcs: funcs, mayAcquire: mayAcquire, owner: fn}
-		w.stmts(decl.Body.List, map[string]bool{})
+		w.stmts(decl.Body.List, map[string]uint8{})
 		ds = append(ds, w.diags...)
 	}
 	return ds
@@ -104,37 +109,50 @@ func packageFuncs(p *Package) map[*types.Func]*ast.FuncDecl {
 	return out
 }
 
-type lockKind int
+// lockOp is the exact lock operation of a call: write and read
+// acquires are distinct kinds, as are their releases.
+type lockOp int
 
 const (
-	lockNone lockKind = iota
-	lockAcquire
-	lockRelease
+	opNone lockOp = iota
+	opLock
+	opRLock
+	opUnlock
+	opRUnlock
 )
 
-// lockCallKind classifies call as Lock/RLock (acquire) or
-// Unlock/RUnlock (release) on a sync.Mutex or sync.RWMutex value, and
-// returns the textual path of the mutex (e.g. "b.mu") for matching
-// within one function.
-func lockCallKind(p *Package, call *ast.CallExpr) (lockKind, string) {
+// Held-state bits per mutex path.
+const (
+	heldWrite uint8 = 1 << iota
+	heldRead
+)
+
+// lockCallKind classifies call as one of Lock/RLock/Unlock/RUnlock on a
+// sync.Mutex or sync.RWMutex value, and returns the textual path of the
+// mutex (e.g. "b.mu") for matching within one function.
+func lockCallKind(p *Package, call *ast.CallExpr) (lockOp, string) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
-		return lockNone, ""
+		return opNone, ""
 	}
-	var kind lockKind
+	var op lockOp
 	switch sel.Sel.Name {
-	case "Lock", "RLock":
-		kind = lockAcquire
-	case "Unlock", "RUnlock":
-		kind = lockRelease
+	case "Lock":
+		op = opLock
+	case "RLock":
+		op = opRLock
+	case "Unlock":
+		op = opUnlock
+	case "RUnlock":
+		op = opRUnlock
 	default:
-		return lockNone, ""
+		return opNone, ""
 	}
 	tv, ok := p.Info.Types[sel.X]
 	if !ok || !isSyncMutex(tv.Type) {
-		return lockNone, ""
+		return opNone, ""
 	}
-	return kind, exprPath(sel.X)
+	return op, exprPath(sel.X)
 }
 
 func isSyncMutex(t types.Type) bool {
@@ -188,24 +206,24 @@ func staticCallee(p *Package, call *ast.CallExpr) *types.Func {
 }
 
 // lockWalker scans one function body in source order, tracking which
-// mutex paths are held.
+// mutex paths are held and in what mode (write, read, or both).
 type lockWalker struct {
 	p          *Package
 	funcs      map[*types.Func]*ast.FuncDecl
 	mayAcquire map[*types.Func]bool
 	owner      *types.Func
-	diags      []Diagnostic
+	diags      []finding
 }
 
-func copyHeld(held map[string]bool) map[string]bool {
-	c := make(map[string]bool, len(held))
+func copyHeld(held map[string]uint8) map[string]uint8 {
+	c := make(map[string]uint8, len(held))
 	for k, v := range held {
 		c[k] = v
 	}
 	return c
 }
 
-func (w *lockWalker) stmts(list []ast.Stmt, held map[string]bool) {
+func (w *lockWalker) stmts(list []ast.Stmt, held map[string]uint8) {
 	for _, s := range list {
 		w.stmt(s, held)
 	}
@@ -215,7 +233,7 @@ func (w *lockWalker) stmts(list []ast.Stmt, held map[string]bool) {
 // and scans nested blocks with a copy (a branch's lock state does not
 // leak past it; the common Lock-then-branch-Unlock-return pattern keeps
 // the outer state held, which is the conservative reading).
-func (w *lockWalker) stmt(s ast.Stmt, held map[string]bool) {
+func (w *lockWalker) stmt(s ast.Stmt, held map[string]uint8) {
 	switch st := s.(type) {
 	case *ast.ExprStmt:
 		w.expr(st.X, held)
@@ -224,7 +242,7 @@ func (w *lockWalker) stmt(s ast.Stmt, held map[string]bool) {
 		// for the rest of the body, i.e. no state change. A deferred call
 		// into an acquiring helper runs while any still-held lock is
 		// held.
-		if kind, _ := lockCallKind(w.p, st.Call); kind == lockNone {
+		if op, _ := lockCallKind(w.p, st.Call); op == opNone {
 			w.expr(st.Call, held)
 		}
 	case *ast.AssignStmt:
@@ -283,7 +301,7 @@ func (w *lockWalker) stmt(s ast.Stmt, held map[string]bool) {
 		}
 	case *ast.GoStmt:
 		// A spawned goroutine does not run under the caller's locks.
-		w.expr(st.Call.Fun, map[string]bool{})
+		w.expr(st.Call.Fun, map[string]uint8{})
 	case *ast.DeclStmt, *ast.IncDecStmt, *ast.BranchStmt, *ast.EmptyStmt,
 		*ast.LabeledStmt, *ast.SendStmt:
 		// No lock-relevant structure beyond nested expressions; keep the
@@ -292,7 +310,7 @@ func (w *lockWalker) stmt(s ast.Stmt, held map[string]bool) {
 }
 
 // expr handles lock transitions and call checks inside one expression.
-func (w *lockWalker) expr(e ast.Expr, held map[string]bool) {
+func (w *lockWalker) expr(e ast.Expr, held map[string]uint8) {
 	ast.Inspect(e, func(n ast.Node) bool {
 		if _, ok := n.(*ast.FuncLit); ok {
 			return false // literals run later, under their caller's locks, not ours
@@ -301,15 +319,31 @@ func (w *lockWalker) expr(e ast.Expr, held map[string]bool) {
 		if !ok {
 			return true
 		}
-		switch kind, path := lockCallKind(w.p, call); kind {
-		case lockAcquire:
-			if held[path] {
+		switch op, path := lockCallKind(w.p, call); op {
+		case opLock:
+			if held[path]&heldWrite != 0 {
 				w.report(call, fmt.Sprintf("%s locks %s, which it already holds", w.owner.Name(), path))
 			}
-			held[path] = true
+			held[path] |= heldWrite
 			return false
-		case lockRelease:
-			delete(held, path)
+		case opRLock:
+			switch {
+			case held[path]&heldWrite != 0:
+				w.report(call, fmt.Sprintf("%s read-locks %s while write-holding it; RWMutex is not reentrant", w.owner.Name(), path))
+			case held[path]&heldRead != 0:
+				w.report(call, fmt.Sprintf("%s read-locks %s, which it already read-holds; a writer queued between the two RLocks deadlocks", w.owner.Name(), path))
+			}
+			held[path] |= heldRead
+			return false
+		case opUnlock:
+			if held[path] &^= heldWrite; held[path] == 0 {
+				delete(held, path)
+			}
+			return false
+		case opRUnlock:
+			if held[path] &^= heldRead; held[path] == 0 {
+				delete(held, path)
+			}
 			return false
 		}
 		if len(held) == 0 {
@@ -323,7 +357,7 @@ func (w *lockWalker) expr(e ast.Expr, held map[string]bool) {
 	})
 }
 
-func heldNames(held map[string]bool) string {
+func heldNames(held map[string]uint8) string {
 	// Deterministic smallest key; one mutex is the overwhelmingly common
 	// case.
 	best := ""
@@ -336,5 +370,5 @@ func heldNames(held map[string]bool) string {
 }
 
 func (w *lockWalker) report(n ast.Node, msg string) {
-	w.diags = append(w.diags, Diagnostic{Pos: nodeLine(w.p.Fset, n), Check: CheckMixerLock, Message: msg})
+	w.diags = append(w.diags, finding{d: Diagnostic{Pos: nodeLine(w.p.Fset, n), Check: CheckMixerLock, Message: msg}})
 }

@@ -19,8 +19,8 @@ var slabFields = map[string]string{
 // checkSlabAccess reports any use — indexing, slicing, aliasing — of a
 // slab field outside the file that declares it. Not suppressible: there
 // is no bounded-overflow argument to make, only an accessor to call.
-func checkSlabAccess(p *Package) []Diagnostic {
-	var ds []Diagnostic
+func checkSlabAccess(p *Package) []finding {
+	var ds []finding
 	for _, f := range p.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			sel, ok := n.(*ast.SelectorExpr)
@@ -43,12 +43,12 @@ func checkSlabAccess(p *Package) []Diagnostic {
 			if pos.Filename == declFile(p.Fset, field) {
 				return true
 			}
-			ds = append(ds, Diagnostic{
+			ds = append(ds, finding{d: Diagnostic{
 				Pos:   pos,
 				Check: CheckSlabAccess,
 				Message: fmt.Sprintf("direct access to position-major slab %s outside its declaring file; use %s",
 					sel.Sel.Name, accessor),
-			})
+			}})
 			return true
 		})
 	}

@@ -56,3 +56,18 @@ func Count(xs []Cycles) Cycles {
 func Good(a, b Cycles) Cycles {
 	return a.AddSat(b).SubSat(two)
 }
+
+// DoubleBind: the trailing annotation binds to its own line only; the
+// subtraction on the next line is still flagged.
+func DoubleBind(a, b Cycles) (Cycles, Cycles) {
+	s := a + b //qos:overflow-ok bounded by the admission contract
+	d := a - b
+	return s, d
+}
+
+// Unused: the annotation suppresses nothing and is itself flagged as
+// stale.
+func Unused(a Cycles) Cycles {
+	//qos:overflow-ok stale: the raw add was refactored away
+	return a.AddSat(a)
+}

@@ -1,0 +1,43 @@
+// Package atomicsafety is a qoslint fixture for mixed atomic/plain
+// access: one legacy field driven through sync/atomic free functions,
+// one atomic.Int64 value field, one plain field for contrast, and a
+// legacy package-level counter.
+package atomicsafety
+
+import "sync/atomic"
+
+type Counter struct {
+	n     int64        // legacy: updated via atomic.AddInt64
+	seen  atomic.Int64 // typed
+	limit int64        // never atomic: plain access is fine
+}
+
+// Bump is the sanctioned legacy shape: &c.n into a sync/atomic call.
+func (c *Counter) Bump() { atomic.AddInt64(&c.n, 1) }
+
+// Peek reads n plainly: flagged.
+func (c *Counter) Peek() int64 { return c.n }
+
+// ResetPlain writes n plainly: flagged.
+func (c *Counter) ResetPlain() { c.n = 0 }
+
+// Seen goes through the typed field's methods: sanctioned.
+func (c *Counter) Seen() int64 { return c.seen.Load() }
+
+// Snapshot copies the atomic.Int64 value, forking its state: flagged.
+func (c *Counter) Snapshot() atomic.Int64 { return c.seen }
+
+// Share passes the address; one instance keeps owning the state:
+// sanctioned.
+func (c *Counter) Share() *atomic.Int64 { return &c.seen }
+
+// Limit is plain everywhere, so plain access stays legal.
+func (c *Counter) Limit() int64 { c.limit++; return c.limit }
+
+var hits int64
+
+// Hit is the sanctioned access to the package-level counter.
+func Hit() { atomic.AddInt64(&hits, 1) }
+
+// Hits reads it plainly: flagged.
+func Hits() int64 { return hits }

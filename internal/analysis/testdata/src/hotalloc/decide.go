@@ -1,0 +1,95 @@
+// Package hotalloc is a qoslint fixture: one annotated decision-path
+// root, helpers covering each allocating-construct class, the two
+// suppression shapes (line annotation, call-edge pruning), and a cold
+// allocating function that stays unflagged.
+package hotalloc
+
+type Item struct{ v int }
+
+// Decide is the decision-path root.
+//
+//qos:hotpath
+func Decide(xs []int) int {
+	n := grow(xs)
+	n += escape().v
+	n += literals()
+	n += closure(n)()
+	n += box(n)
+	n += strs("a", "b")
+	n += warm()
+	n += slow() //qos:alloc-ok cold branch, only taken on config reload
+	cleanup(xs)
+	return n
+}
+
+// grow: make and append.
+func grow(xs []int) int {
+	out := make([]int, 0, len(xs))
+	out = append(out, xs...)
+	return len(out)
+}
+
+// escape: the composite literal's address is taken, so it escapes.
+func escape() *Item {
+	return &Item{v: 1}
+}
+
+// literals: slice literal, map literal, map assignment, new.
+func literals() int {
+	nums := []int{1, 2, 3}
+	idx := map[string]int{}
+	idx["k"] = nums[0]
+	p := new(Item)
+	return idx["k"] + p.v
+}
+
+// closure: the returned literal captures n.
+func closure(n int) func() int {
+	return func() int { return n }
+}
+
+// box: interface boxing at a conversion, at a call argument, and via a
+// variadic call.
+func box(n int) int {
+	v := interface{}(Item{v: n})
+	sink(n)
+	logf("n=%d", n)
+	if _, ok := v.(Item); ok {
+		return 1
+	}
+	return 0
+}
+
+func sink(v interface{}) { _ = v }
+
+func logf(format string, args ...interface{}) { _, _ = format, args }
+
+// strs: concatenation and a string->[]byte conversion.
+func strs(a, b string) int {
+	return len(a+b) + len([]byte(a))
+}
+
+// warm: the make is justified with a reasoned annotation.
+func warm() int {
+	buf := make([]byte, 8) //qos:alloc-ok warmup buffer, reused across cycles
+	return len(buf)
+}
+
+// slow allocates freely; Decide justifies the call edge, so nothing in
+// here is reported.
+func slow() int {
+	big := make([]int, 1024)
+	return len(big)
+}
+
+// cleanup: defer inside a loop.
+func cleanup(xs []int) {
+	for range xs {
+		defer func() {}()
+	}
+}
+
+// coldAlloc is not reachable from any root: no findings.
+func coldAlloc() []int {
+	return append([]int(nil), 1, 2, 3)
+}

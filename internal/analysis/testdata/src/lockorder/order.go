@@ -1,0 +1,119 @@
+// Package lockorder is a qoslint fixture for the module-wide
+// lock-acquisition-order graph: an ABBA cycle, a cycle closed through
+// a helper call, an RLock→Lock upgrade (direct and helper-mediated),
+// two instances of one mutex class nested, and a consistent nesting
+// that stays clean.
+package lockorder
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+var (
+	a A
+	b B
+)
+
+// LockAB nests B's mutex under A's.
+func LockAB() {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// LockBA nests them the other way: together with LockAB this is the
+// ABBA cycle; both nesting sites are flagged.
+func LockBA() {
+	b.mu.Lock()
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+type Registry struct{ mu sync.Mutex }
+
+type Journal struct{ mu sync.Mutex }
+
+var (
+	reg Registry
+	jnl Journal
+)
+
+// Append takes the journal lock.
+func (j *Journal) Append() {
+	j.mu.Lock()
+	j.mu.Unlock()
+}
+
+// Record acquires the journal lock through Append while holding
+// reg.mu: the edge is recorded at the call, and flagged because Revert
+// closes the cycle.
+func Record() {
+	reg.mu.Lock()
+	jnl.Append()
+	reg.mu.Unlock()
+}
+
+// Revert locks reg.mu while holding the journal lock.
+func (j *Journal) Revert() {
+	j.mu.Lock()
+	reg.mu.Lock()
+	reg.mu.Unlock()
+	j.mu.Unlock()
+}
+
+type Cache struct{ mu sync.RWMutex }
+
+// Promote upgrades its read lock to a write lock: the Lock waits for
+// all readers, including this one — flagged.
+func (c *Cache) Promote() {
+	c.mu.RLock()
+	c.mu.Lock()
+	c.mu.Unlock()
+	c.mu.RUnlock()
+}
+
+func (c *Cache) flush() {
+	c.mu.Lock()
+	c.mu.Unlock()
+}
+
+// PromoteViaHelper read-holds c.mu and calls flush, which write-locks
+// the same mutex: flagged at the call.
+func (c *Cache) PromoteViaHelper() {
+	c.mu.RLock()
+	c.flush()
+	c.mu.RUnlock()
+}
+
+type Account struct{ mu sync.Mutex }
+
+// Transfer nests two Account.mu instances; Transfer(x, y) racing
+// Transfer(y, x) deadlocks — flagged as a self-cycle.
+func Transfer(from, to *Account) {
+	from.mu.Lock()
+	to.mu.Lock()
+	to.mu.Unlock()
+	from.mu.Unlock()
+}
+
+type Outer struct{ mu sync.Mutex }
+
+type Inner struct{ mu sync.Mutex }
+
+var (
+	outer Outer
+	inner Inner
+)
+
+// Consistent nests inner under outer and nothing ever nests them the
+// other way: an edge without a cycle — no finding.
+func Consistent() {
+	outer.mu.Lock()
+	inner.mu.Lock()
+	inner.mu.Unlock()
+	outer.mu.Unlock()
+}

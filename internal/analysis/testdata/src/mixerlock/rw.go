@@ -1,0 +1,41 @@
+package mixerlock
+
+import "sync"
+
+// Table exercises the read/write distinction: RLock is a separate
+// acquire kind, not conflated with Lock.
+type Table struct {
+	mu   sync.RWMutex
+	rows int64
+}
+
+// Readers re-read-locks while already read-holding: the second RLock
+// deadlocks as soon as a writer queues between the two — flagged.
+func (t *Table) Readers() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	t.mu.RLock()
+	n := t.rows
+	t.mu.RUnlock()
+	return n
+}
+
+// WriteThenRead read-locks while write-holding the same mutex; RWMutex
+// is not reentrant — flagged.
+func (t *Table) WriteThenRead() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.mu.RLock()
+	n := t.rows
+	t.mu.RUnlock()
+	return n
+}
+
+// ReadThenWrite fully releases the read lock before write-locking:
+// with the kinds tracked separately this is clean.
+func (t *Table) ReadThenWrite() {
+	t.mu.RLock()
+	t.mu.RUnlock()
+	t.mu.Lock()
+	t.mu.Unlock()
+}

@@ -212,6 +212,8 @@ func (tb *Tables) Allowed(qi, i int, t Cycles) bool {
 // The top candidate is probed first (the common case when the cycle is
 // on time), then the remaining range is binary-searched when the slack
 // profile at i is monotone, and linearly scanned otherwise.
+//
+//qos:hotpath
 func (tb *Tables) MaxAdmissibleLevel(i, hi int, t Cycles, soft bool) (int, int) {
 	slab, mono := tb.minSlack, tb.minMono
 	if soft {

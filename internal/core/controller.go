@@ -403,6 +403,8 @@ func (c *Controller) Retarget(d *TimeFamily) error {
 // shifting; miss accounting reads it live). In Hard mode a delta that
 // would make minimal quality infeasible is rejected with no state
 // change.
+//
+//qos:hotpath
 func (c *Controller) ShiftDeadlines(delta Cycles) error {
 	if c.i != 0 && !c.Done() {
 		return errors.New("core: ShiftDeadlines mid-cycle")
@@ -413,7 +415,7 @@ func (c *Controller) ShiftDeadlines(delta Cycles) error {
 	}
 	shift := c.dshift.AddSat(delta)
 	if c.prog.mode == Hard && tb.WcQminSlack[0].AddSat(shift) < 0 {
-		return fmt.Errorf("core: ShiftDeadlines(%v): no feasible schedule at qmin under worst-case times", delta)
+		return fmt.Errorf("core: ShiftDeadlines(%v): no feasible schedule at qmin under worst-case times", delta) //qos:alloc-ok error construction on the rejected-shift exit only; the accept path is allocation-free
 	}
 	c.dshift = shift
 	return nil
@@ -455,6 +457,8 @@ func (c *Controller) Stats() ControllerStats { return c.stats }
 // iteration of the abstract algorithm: build θ_q = θ ▷_i q for each q,
 // compute α_q = Best_Sched(α, θ_q, i), and take qM = max{q |
 // Qual_Const(α_q, θ_q, t, i)}.
+//
+//qos:hotpath
 func (c *Controller) Next() (Decision, error) {
 	if c.Done() {
 		return Decision{}, errors.New("core: cycle complete; Reset before reuse")
@@ -490,7 +494,7 @@ func (c *Controller) Next() (Decision, error) {
 	} else {
 		for qi := hi; qi >= 0; qi-- {
 			c.stats.CandidateEval++
-			if c.allowedDirect(qi) {
+			if c.allowedDirect(qi) { //qos:alloc-ok documented slow path: table-free programs re-derive Best_Sched per probe (WithReferenceScan / differential testing); production programs take the selector path above
 				chosen = qi
 				break
 			}
@@ -577,6 +581,8 @@ func (c *Controller) Completed(actual Cycles) {
 // any platform preemption. All subsequent admissibility tests see the
 // shrunk remaining time, so quality degrades (and, in Hard mode,
 // deadlines stay safe) exactly as if the cycle had started late.
+//
+//qos:hotpath
 func (c *Controller) Preempt(dt Cycles) {
 	if dt > 0 {
 		c.t = c.t.AddSat(dt)
@@ -605,9 +611,27 @@ type CycleDriver interface {
 // one copy of the per-cycle accounting, shared by Controller.RunCycle
 // and the session layer.
 func RunCycleWith(c CycleDriver, exec func(ActionID, Level) Cycles) (CycleResult, error) {
+	return runCycle(c, exec, false)
+}
+
+// RunCycleLeanWith is RunCycleWith minus the per-cycle snapshots:
+// Trace, Assignment and Schedule stay nil, so the serving loop itself
+// performs no heap allocation in steady state. The aggregate results
+// (Steps, Elapsed, Misses, Fallbacks, Stats) are identical, and
+// MeanLevel falls back to the controller statistics — exact per cycle
+// when the driver is Reset between cycles, cumulative otherwise.
+func RunCycleLeanWith(c CycleDriver, exec func(ActionID, Level) Cycles) (CycleResult, error) {
+	return runCycle(c, exec, true)
+}
+
+// runCycle is the one copy of the per-cycle decision loop; lean skips
+// the Trace/Assignment/Schedule snapshots.
+func runCycle(c CycleDriver, exec func(ActionID, Level) Cycles, lean bool) (CycleResult, error) {
 	res := CycleResult{}
 	sys := c.System()
-	res.Trace = make([]StepTrace, 0, sys.Graph.Len()-c.Position())
+	if !lean {
+		res.Trace = make([]StepTrace, 0, sys.Graph.Len()-c.Position())
+	}
 	for !c.Done() {
 		d, err := c.Next()
 		if err != nil {
@@ -622,14 +646,19 @@ func RunCycleWith(c CycleDriver, exec func(ActionID, Level) Cycles) (CycleResult
 		if d.Fallback {
 			res.Fallbacks++
 		}
-		res.Trace = append(res.Trace, StepTrace{
-			Action: d.Action, Level: d.Level, LevelIndex: d.LevelIndex,
-			Actual: actual, Finish: c.Elapsed(),
-		})
+		res.Steps++
+		if !lean {
+			res.Trace = append(res.Trace, StepTrace{
+				Action: d.Action, Level: d.Level, LevelIndex: d.LevelIndex,
+				Actual: actual, Finish: c.Elapsed(),
+			})
+		}
 	}
 	res.Elapsed = c.Elapsed()
-	res.Assignment = c.Assignment()
-	res.Schedule = c.Schedule()
+	if !lean {
+		res.Assignment = c.Assignment()
+		res.Schedule = c.Schedule()
+	}
 	res.Stats = c.Stats()
 	return res, nil
 }
@@ -649,25 +678,36 @@ type StepTrace struct {
 	Finish     Cycles
 }
 
-// CycleResult summarises one controlled cycle.
+// CycleResult summarises one controlled cycle. Schedule, Assignment
+// and Trace are nil on the lean path (RunCycleLeanWith); the scalar
+// fields are always populated.
 type CycleResult struct {
 	Schedule   []ActionID
 	Assignment Assignment
 	Trace      []StepTrace
-	Elapsed    Cycles
-	Misses     int
-	Fallbacks  int
-	Stats      ControllerStats
+	// Steps is the number of actions executed this cycle — len(Trace)
+	// on the full path, and the only step count on the lean path.
+	Steps     int
+	Elapsed   Cycles
+	Misses    int
+	Fallbacks int
+	Stats     ControllerStats
 }
 
 // MeanLevel returns the mean chosen quality over the cycle, measured in
 // level *indexes* (0 = qmin). With non-contiguous level sets the raw
 // level values would overstate quality and disagree with the index
 // arithmetic of the controller's candidate loop; indexes keep the
-// average comparable across systems.
+// average comparable across systems. Without a Trace (lean path) it is
+// derived from the controller statistics instead, which cover
+// everything since the driver's last Reset — identical per cycle when
+// the driver is Reset between cycles.
 func (r CycleResult) MeanLevel() float64 {
 	if len(r.Trace) == 0 {
-		return 0
+		if r.Stats.Decisions == 0 {
+			return 0
+		}
+		return float64(r.Stats.LevelSum) / float64(r.Stats.Decisions)
 	}
 	var s int64
 	for _, st := range r.Trace {

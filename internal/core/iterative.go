@@ -190,6 +190,8 @@ func (it *IterativeTables) admissible(qi, i int, t Cycles, soft bool) bool {
 // admissible set at a fixed position is always a prefix of the level
 // set and binary search applies unconditionally — the iterative tables
 // have no non-monotone fallback case.
+//
+//qos:hotpath
 func (it *IterativeTables) MaxAdmissibleLevel(i, hi int, t Cycles, soft bool) (int, int) {
 	probes := 1
 	if it.admissible(hi, i, t, soft) {

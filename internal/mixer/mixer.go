@@ -25,7 +25,6 @@ package mixer
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
 
 	"repro/internal/core"
@@ -119,6 +118,10 @@ type Budget struct {
 	// CycleDelay, Stats): admissions and releases stay O(1), so
 	// admitting N streams in a burst costs O(N), not O(N²).
 	dirty bool
+	// scratch is repartition's working buffer (sort order in Greedy,
+	// open set in waterFill). It is grown in Admit so the per-cycle
+	// repartition itself never allocates.
+	scratch []*Grant
 }
 
 // New builds a shared budget of total cycles per period under the given
@@ -182,6 +185,11 @@ func (b *Budget) Admit(spec StreamSpec) (*Grant, error) {
 	}
 	g := &Grant{b: b, spec: spec}
 	b.grants = append(b.grants, g)
+	if cap(b.scratch) < len(b.grants) {
+		// Grow here, on the cold admission path, so the hot
+		// repartition can slice b.scratch without allocating.
+		b.scratch = make([]*Grant, 0, 2*len(b.grants))
+	}
 	b.committed = b.committed.AddSat(spec.MinNeed)
 	b.dirty = true
 	return g, nil
@@ -205,6 +213,8 @@ func (b *Budget) Headroom(spec StreamSpec) int {
 // Rebalance forces an immediate re-partition. Admit, Release, SetTotal
 // and SetWeight already schedule one for the next share read, so this
 // is only needed to pay the cost eagerly.
+//
+//qos:hotpath
 func (b *Budget) Rebalance() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -272,15 +282,24 @@ func (b *Budget) repartition() {
 	}
 	switch b.policy {
 	case Weighted:
-		slack = b.waterFill(slack, func(g *Grant) core.Cycles { return g.spec.Nominal }, true)
+		slack = b.waterFill(slack, true)
 	case Greedy:
-		// First lift the cheapest streams to full quality…
-		order := make([]*Grant, n)
+		// First lift the cheapest streams to full quality, cheapest
+		// (smallest FullNeed−MinNeed gap) first. Stable insertion sort
+		// over the preallocated scratch buffer: n is small and the
+		// repartition must not allocate on the hot path.
+		order := b.scratch[:n]
 		copy(order, b.grants)
-		sort.SliceStable(order, func(i, j int) bool {
-			return order[i].spec.FullNeed.SubSat(order[i].spec.MinNeed) <
-				order[j].spec.FullNeed.SubSat(order[j].spec.MinNeed)
-		})
+		for i := 1; i < n; i++ {
+			g := order[i]
+			key := g.spec.FullNeed.SubSat(g.spec.MinNeed)
+			j := i
+			for j > 0 && order[j-1].spec.FullNeed.SubSat(order[j-1].spec.MinNeed) > key {
+				order[j] = order[j-1]
+				j--
+			}
+			order[j] = g
+		}
 		for _, g := range order {
 			if slack <= 0 {
 				break
@@ -305,25 +324,30 @@ func (b *Budget) repartition() {
 			slack = slack.SubSat(give)
 		}
 	default: // Fair
-		slack = b.waterFill(slack, func(g *Grant) core.Cycles { return g.spec.Nominal }, false)
+		slack = b.waterFill(slack, false)
 	}
 }
 
 // waterFill distributes slack across the grants proportionally to their
 // weights (or equally when weighted is false), capping each share at
-// cap(g) and re-offering a capped stream's remainder to the rest. It
-// returns the slack left when every stream is capped. Remainder cycles
-// from integer division go to the earliest-admitted uncapped streams.
-func (b *Budget) waterFill(slack core.Cycles, cap func(*Grant) core.Cycles, weighted bool) core.Cycles {
+// the stream's nominal budget and re-offering a capped stream's
+// remainder to the rest. It returns the slack left when every stream is
+// capped. Remainder cycles from integer division go to the
+// earliest-admitted uncapped streams. The open set lives in b.scratch
+// so the fill never allocates on the hot path.
+func (b *Budget) waterFill(slack core.Cycles, weighted bool) core.Cycles {
 	for slack > 0 {
-		var open []*Grant
+		open := b.scratch[:len(b.grants)]
+		nOpen := 0
 		var wsum float64
 		for _, g := range b.grants {
-			if g.share < cap(g) {
-				open = append(open, g)
+			if g.share < g.spec.Nominal {
+				open[nOpen] = g
+				nOpen++
 				wsum += g.spec.Weight
 			}
 		}
+		open = open[:nOpen]
 		if len(open) == 0 || wsum <= 0 {
 			return slack
 		}
@@ -334,7 +358,7 @@ func (b *Budget) waterFill(slack core.Cycles, cap func(*Grant) core.Cycles, weig
 				frac = g.spec.Weight / wsum
 			}
 			give := core.Cycles(float64(slack) * frac)
-			if max := cap(g).SubSat(g.share); give > max {
+			if max := g.spec.Nominal.SubSat(g.share); give > max {
 				give = max
 			}
 			g.share = g.share.AddSat(give)
@@ -347,7 +371,7 @@ func (b *Budget) waterFill(slack core.Cycles, cap func(*Grant) core.Cycles, weig
 				if slack == 0 {
 					break
 				}
-				if g.share < cap(g) {
+				if g.share < g.spec.Nominal {
 					g.share = g.share.AddSat(1)
 					given = given.AddSat(1)
 					slack = slack.SubSat(1)
@@ -407,6 +431,8 @@ func (g *Grant) Share() core.Cycles {
 // CycleDelay returns Nominal − Share: the elapsed-time handicap to
 // charge the stream's controller at cycle start (see the package
 // comment). It implements session.BudgetSource.
+//
+//qos:hotpath
 func (g *Grant) CycleDelay() core.Cycles {
 	g.b.mu.Lock()
 	defer g.b.mu.Unlock()

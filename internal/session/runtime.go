@@ -139,7 +139,7 @@ func (r *Runtime) RunCycleFunc(f func(core.ActionID, core.Level) core.Cycles, ob
 // account folds a finished cycle into the served totals.
 func (r *Runtime) account(res *core.CycleResult) {
 	r.cycles.Add(1)
-	r.actions.Add(int64(len(res.Trace)))
+	r.actions.Add(int64(res.Steps))
 	r.fallbacks.Add(int64(res.Fallbacks))
 	r.misses.Add(int64(res.Misses))
 }

@@ -124,6 +124,11 @@ type Session struct {
 	// Runtime.AcquireBudgeted.
 	budget BudgetSource
 
+	// lean makes Run skip the per-cycle Trace/Assignment/Schedule
+	// snapshots (core.RunCycleLeanWith) so steady-state serving
+	// allocates nothing per cycle.
+	lean bool
+
 	// owner is the Runtime this session was acquired from (nil for
 	// stand-alone sessions). It is atomic so Runtime.Release can
 	// detach the session exactly once even under a racy double
@@ -206,6 +211,8 @@ func (s *Session) Preempt(dt core.Cycles) { s.ctrl.Preempt(dt) }
 
 // Next computes the decision for the coming action and fires the
 // on-decision (and possibly on-fallback) hooks.
+//
+//qos:hotpath
 func (s *Session) Next() (core.Decision, error) {
 	d, err := s.ctrl.Next()
 	if err != nil {
@@ -237,13 +244,26 @@ func (s *Session) Completed(actual core.Cycles) {
 	}
 }
 
+// SetLean toggles lean serving: a lean Run skips the per-cycle
+// Schedule, Assignment and Trace snapshots (they stay nil in the
+// CycleResult) so the steady-state serving loop performs zero heap
+// allocations per cycle. Scalar results — Steps, Elapsed, Misses,
+// Fallbacks, Stats, MeanLevel — are unaffected. Observers still fire.
+func (s *Session) SetLean(lean bool) { s.lean = lean }
+
 // Run drives one full cycle against the workload: for each step the
 // controller picks (action, level), the workload returns the consumed
 // cycles, and the controller observes the completion. Misses are
 // counted against D_θ; observers fire on every step. The session must
 // be at a cycle boundary (fresh, Reset, or just acquired).
 func (s *Session) Run(w platform.Workload) (core.CycleResult, error) {
-	res, err := core.RunCycleWith(s, w.Cost)
+	var res core.CycleResult
+	var err error
+	if s.lean {
+		res, err = core.RunCycleLeanWith(s, w.Cost)
+	} else {
+		res, err = core.RunCycleWith(s, w.Cost)
+	}
 	if err != nil {
 		return res, err
 	}

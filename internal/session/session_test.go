@@ -52,6 +52,56 @@ func TestSessionRunCountsAndHooks(t *testing.T) {
 	}
 }
 
+// TestSessionLeanRun: a lean Run matches the full Run on every scalar
+// result, skips the snapshots, and allocates nothing per cycle in
+// steady state.
+func TestSessionLeanRun(t *testing.T) {
+	sys := demoSystem(t)
+	work := func(a core.ActionID, q core.Level) core.Cycles {
+		return sys.Cav.At(q, a)
+	}
+	full, err := NewSession(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fres, err := full.RunFunc(work)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lean, err := NewSession(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lean.SetLean(true)
+	lres, err := lean.RunFunc(work)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lres.Trace != nil || lres.Schedule != nil || lres.Assignment != nil {
+		t.Fatalf("lean run kept snapshots: %+v", lres)
+	}
+	if lres.Steps != fres.Steps || lres.Elapsed != fres.Elapsed ||
+		lres.Misses != fres.Misses || lres.Fallbacks != fres.Fallbacks ||
+		lres.Stats != fres.Stats {
+		t.Fatalf("lean scalars diverge:\nlean %+v\nfull %+v", lres, fres)
+	}
+	if lm, fm := lres.MeanLevel(), fres.MeanLevel(); lm != fm {
+		t.Fatalf("lean MeanLevel %v != full %v", lm, fm)
+	}
+	if fres.Steps != len(fres.Trace) {
+		t.Fatalf("Steps %d != len(Trace) %d", fres.Steps, len(fres.Trace))
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		lean.Reset()
+		if _, err := lean.RunFunc(work); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("lean steady-state cycle allocates %v times, want 0", allocs)
+	}
+}
+
 func TestSessionFallbackHook(t *testing.T) {
 	sys := demoSystem(t)
 	var fallbacks int
