@@ -56,6 +56,10 @@ func newMixerBench(tb testing.TB, streams int) *mixerBench {
 	if err != nil {
 		tb.Fatal(err)
 	}
+	// Leasing armed: the measured serving path includes the per-cycle
+	// lease renewal (a field write under the lock CycleDelay already
+	// takes — it must not add locks or allocations).
+	budget.SetLease(8)
 	m := &mixerBench{sys: sys, rt: rt, budget: budget, spec: spec}
 	m.grants = make([]*qos.StreamGrant, streams)
 	for i := range m.grants {
@@ -168,16 +172,26 @@ type mixerBenchFile struct {
 	Points     []mixerBenchPoint `json:"points"`
 }
 
+// maxAllocsPerStreamCyc is the serving-path allocation ceiling: the
+// steady state allocates nothing per decision, so anything above cycle
+// bookkeeping noise is a regression.
+const maxAllocsPerStreamCyc = 0.1
+
 // TestEmitMixerBenchJSON measures the shared-budget serving path at
 // 8/16/32 streams and writes the results to the path named by
 // BENCH_MIXER_JSON (skipped when unset) — the checked-in
-// BENCH_mixer.json that tracks the perf trajectory across PRs.
+// BENCH_mixer.json that tracks the perf trajectory across PRs. The
+// allocation ceiling is enforced on every run; setting
+// BENCH_MIXER_BASELINE to a previous BENCH_mixer.json additionally
+// fails the run on a >10% ns/stream-cycle regression at any fleet
+// size (a local gate — wall-clock comparisons across CI machines are
+// noise).
 func TestEmitMixerBenchJSON(t *testing.T) {
 	out := os.Getenv("BENCH_MIXER_JSON")
 	if out == "" {
 		t.Skip("BENCH_MIXER_JSON not set")
 	}
-	const periods = 200
+	const periods = 400
 	file := mixerBenchFile{
 		Benchmark:  "MixerSharedBudget",
 		Model:      "examples/models/mpeg_body.qos",
@@ -200,6 +214,11 @@ func TestEmitMixerBenchJSON(t *testing.T) {
 			t.Fatalf("streams=%d: hard mode served with %d misses", streams, st.Misses)
 		}
 		cycles := int64(streams) * int64(periods)
+		allocs := float64(m1.Mallocs-m0.Mallocs) / float64(cycles)
+		if allocs > maxAllocsPerStreamCyc {
+			t.Errorf("streams=%d: %.3f allocs/stream-cycle exceeds the %.1f ceiling",
+				streams, allocs, maxAllocsPerStreamCyc)
+		}
 		file.Points = append(file.Points, mixerBenchPoint{
 			Streams:            streams,
 			Periods:            periods,
@@ -209,10 +228,11 @@ func TestEmitMixerBenchJSON(t *testing.T) {
 			Misses:             st.Misses,
 			Fallbacks:          st.Fallbacks,
 			ShareFraction:      float64(m.grants[0].Share()) / float64(m.spec.Nominal),
-			AllocsPerStreamCyc: float64(m1.Mallocs-m0.Mallocs) / float64(cycles),
+			AllocsPerStreamCyc: allocs,
 		})
 		m.release()
 	}
+	checkMixerBaseline(t, file)
 	data, err := json.MarshalIndent(file, "", "  ")
 	if err != nil {
 		t.Fatal(err)
@@ -221,4 +241,39 @@ func TestEmitMixerBenchJSON(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Logf("wrote %s", out)
+}
+
+// checkMixerBaseline compares the fresh measurements against the
+// baseline named by BENCH_MIXER_BASELINE (no-op when unset): any fleet
+// size slower by more than 10% ns/stream-cycle fails.
+func checkMixerBaseline(t *testing.T, fresh mixerBenchFile) {
+	path := os.Getenv("BENCH_MIXER_BASELINE")
+	if path == "" {
+		return
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+	var base mixerBenchFile
+	if err := json.Unmarshal(data, &base); err != nil {
+		t.Fatalf("baseline %s: %v", path, err)
+	}
+	baseNs := make(map[int]float64, len(base.Points))
+	for _, p := range base.Points {
+		baseNs[p.Streams] = p.NsPerStreamCyc
+	}
+	for _, p := range fresh.Points {
+		b, ok := baseNs[p.Streams]
+		if !ok || b <= 0 {
+			continue
+		}
+		if ratio := p.NsPerStreamCyc / b; ratio > 1.10 {
+			t.Errorf("streams=%d: %.0f ns/stream-cycle is %.1f%% over baseline %.0f (>10%% regression)",
+				p.Streams, p.NsPerStreamCyc, 100*(ratio-1), b)
+		} else {
+			t.Logf("streams=%d: %.0f ns/stream-cycle vs baseline %.0f (%.1f%%)",
+				p.Streams, p.NsPerStreamCyc, b, 100*(ratio-1))
+		}
+	}
 }

@@ -3,9 +3,11 @@
 // edges, levels, time tables, deadlines). It can show the model, check
 // schedulability, print the EDF schedule and the precomputed constraint
 // tables, simulate controlled cycles under random load — one stream or
-// many concurrent streams served by one shared Runtime — and size a
+// many concurrent streams served by one shared Runtime — size a
 // shared CPU budget: how many concurrent streams of the model one
-// budget can carry.
+// budget can carry — and chaos-test the serving stack: drive a mixed
+// hard/soft fleet under a deterministic injected fault schedule and
+// report whether the robustness invariants held.
 //
 // Usage:
 //
@@ -16,6 +18,8 @@
 //	qosctl -model app.qos simulate -cycles 10 -seed 7 -load 0.5
 //	qosctl -model app.qos simulate -streams 8 -cycles 100
 //	qosctl -model app.qos capacity -budget 20000000
+//	qosctl -model app.qos chaos -streams 16 -cycles 64 -seed 42
+//	qosctl -model app.qos chaos -faults stall,shrink -lease 2
 package main
 
 import (
@@ -29,7 +33,7 @@ import (
 	"repro/internal/codegen"
 )
 
-const usageLine = "usage: qosctl -model <file> {show|check|schedule|tables|simulate|capacity}"
+const usageLine = "usage: qosctl -model <file> {show|check|schedule|tables|simulate|capacity|chaos}"
 
 // cliConfig is the parsed command line.
 type cliConfig struct {
@@ -41,6 +45,8 @@ type cliConfig struct {
 	soft      bool
 	streams   int
 	budget    int64
+	lease     int
+	faults    string
 }
 
 func main() {
@@ -61,7 +67,9 @@ func realMain(argv []string, stdout, stderr io.Writer) int {
 	fs.Float64Var(&cfg.load, "load", 0.5, "simulate: load position in [0,1] between Cav and Cwc")
 	fs.BoolVar(&cfg.soft, "soft", false, "simulate: soft mode (average constraint only)")
 	fs.IntVar(&cfg.streams, "streams", 1, "simulate: concurrent streams served by one shared runtime")
-	fs.Int64Var(&cfg.budget, "budget", 0, "capacity: shared cycle budget per period")
+	fs.Int64Var(&cfg.budget, "budget", 0, "capacity/chaos: shared cycle budget per period (chaos: 0 auto-sizes)")
+	fs.IntVar(&cfg.lease, "lease", 3, "chaos: lease window in epochs before an idle grant is reclaimed")
+	fs.StringVar(&cfg.faults, "faults", "all", "chaos: comma-separated fault kinds (stall,panic,overrun,storm,shrink) or all")
 	usage := func() int {
 		fmt.Fprintln(stderr, usageLine)
 		return 2
@@ -145,6 +153,8 @@ func run(cfg cliConfig, out io.Writer) error {
 		return simulate(cfg, out)
 	case "capacity":
 		return capacity(cfg, out)
+	case "chaos":
+		return chaos(cfg, out)
 	default:
 		return fmt.Errorf("unknown command %q", cfg.cmd)
 	}

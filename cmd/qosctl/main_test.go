@@ -200,3 +200,53 @@ func TestCLICapacityMPEGBody(t *testing.T) {
 		t.Fatalf("capacity output %q", out)
 	}
 }
+
+// --- chaos subcommand ---
+
+func TestCLIChaos(t *testing.T) {
+	path := modelFile(t)
+	code, out, errOut := cli(t, "-model", path, "chaos", "-streams", "16", "-cycles", "48", "-seed", "42")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q, stdout %q", code, errOut, out)
+	}
+	if !strings.Contains(out, "all robustness invariants held") {
+		t.Fatalf("chaos output %q", out)
+	}
+	if !strings.Contains(out, "misses: healthy-hard=0") {
+		t.Fatalf("chaos output lacks miss scorecard: %q", out)
+	}
+	// Deterministic: same seed, same schedule, same scorecard.
+	_, out2, _ := cli(t, "-model", path, "chaos", "-streams", "16", "-cycles", "48", "-seed", "42")
+	if out != out2 {
+		t.Fatalf("chaos not deterministic:\n%q\nvs\n%q", out, out2)
+	}
+}
+
+func TestCLIChaosFaultSubset(t *testing.T) {
+	path := modelFile(t)
+	code, out, errOut := cli(t, "-model", path, "chaos",
+		"-streams", "8", "-cycles", "32", "-seed", "7", "-faults", "stall,shrink", "-lease", "2")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut)
+	}
+	if strings.Contains(out, "panicked") || strings.Contains(out, "storm") && strings.Contains(out, "attempts") {
+		t.Fatalf("excluded fault kinds manifested: %q", out)
+	}
+	if !strings.Contains(out, "revoked after stall") {
+		t.Fatalf("stall revocation missing from %q", out)
+	}
+}
+
+func TestCLIChaosRejectsBadFlags(t *testing.T) {
+	path := modelFile(t)
+	for _, args := range [][]string{
+		{"-model", path, "chaos", "-cycles", "4"},                 // horizon too short
+		{"-model", path, "chaos", "-faults", "meteor"},            // unknown kind
+		{"-model", path, "chaos", "-cycles", "32", "-lease", "0"}, // no lease window
+	} {
+		code, _, errOut := cli(t, args...)
+		if code != 1 {
+			t.Errorf("args %v: exit %d, want 1 (stderr %q)", args, code, errOut)
+		}
+	}
+}

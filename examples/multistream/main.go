@@ -7,7 +7,13 @@
 //     settles at a reduced quality level, with zero deadline misses;
 //  2. half the streams release their grants — the mixer re-partitions
 //     the freed slack at the next cycle boundaries and the survivors'
-//     quality climbs.
+//     quality climbs;
+//  3. robustness: budget leasing is armed and two faults are injected —
+//     one stream stalls (its lease expires and the reaper reclaims the
+//     share; the stream fails fast with ErrGrantRevoked when it wakes)
+//     and one stream's workload panics (the session recovers, returns
+//     the grant, and quarantines its controller so the pool never
+//     hands it out again).
 //
 // Run from the repository root:
 //
@@ -128,10 +134,49 @@ func main() {
 	}
 	phase("phase 2 (half released)", *streams/2)
 
+	// Phase 3: robustness. Arm leasing — a grant now stays alive only
+	// while its stream keeps reaching cycle boundaries — then inject the
+	// two canonical faults.
+	fmt.Println()
+	shared.SetLease(2)
+
+	// The staller: stream 0 stops serving. Every Rebalance advances the
+	// lease epoch; past the window the reaper revokes the grant and
+	// reclaims its reservation for the fleet.
+	staller := rt.AcquireBudgeted(grants[0])
+	for epoch := 0; epoch < 4; epoch++ {
+		// The healthy survivors keep reaching cycle boundaries — each
+		// read renews their lease. Stream 0 has stalled and never does.
+		for i := 1; i < *streams/2; i++ {
+			_ = grants[i].Share()
+		}
+		shared.Rebalance()
+	}
+	staller.Reset() // the stream "wakes up" on a reclaimed share
+	fmt.Printf("phase 3 (stall) : grant revoked=%v, session fails fast: %v\n",
+		grants[0].Revoked(), staller.Err())
+	rt.Release(staller)
+
+	// The panicker: stream 1's workload dies mid-cycle. The session
+	// recovers, releases the grant back to the budget, and quarantines
+	// the controller — the pool will never serve it again.
+	panicker := rt.AcquireBudgeted(grants[1])
+	_, perr := panicker.RunFunc(func(qos.ActionID, qos.Level) qos.Cycles {
+		panic("decoder hit a corrupt macroblock")
+	})
+	fmt.Printf("phase 3 (panic) : %v\n", perr)
+	fmt.Printf("                  controller quarantined=%v, grant share=%v, pool quarantines=%d\n",
+		panicker.Controller().Quarantined(), grants[1].Share(), rt.Stats().Quarantined)
+	rt.Release(panicker)
+
+	st = shared.Stats()
+	fmt.Printf("phase 3 budget  : %d streams still admitted, committed %v, revoked=%d\n",
+		st.Streams, st.Committed, st.Revoked)
+
 	agg := rt.Stats()
 	fmt.Printf("\nruntime served %d cycles / %d actions (misses=%d)\n",
 		agg.Cycles, agg.Actions, agg.Misses)
-	for i := 0; i < *streams/2; i++ {
+	for i := 2; i < *streams/2; i++ {
 		grants[i].Release()
 	}
 }

@@ -225,6 +225,11 @@ type Controller struct {
 	// budget persists across cycles) and is cleared by a full rebuild.
 	dshift Cycles
 	stats  ControllerStats
+	// quarantined marks a controller whose workload panicked mid-cycle:
+	// its mutable state may be arbitrarily corrupted, so pools must
+	// refuse it. Deliberately NOT cleared by Reset — quarantine is
+	// permanent for the instance (see Quarantine).
+	quarantined bool
 }
 
 // ControllerStats accumulates per-cycle controller behaviour.
@@ -425,6 +430,17 @@ func (c *Controller) ShiftDeadlines(delta Cycles) error {
 // applied to the controller's time base (0 when the tables are used at
 // the deadlines they were built for).
 func (c *Controller) DeadlineShift() Cycles { return c.dshift }
+
+// Quarantine permanently marks the controller as poisoned: a workload
+// panicked mid-cycle, so the instance's mutable state (position, time,
+// schedule suffix) may be arbitrarily corrupted. Reset deliberately does
+// NOT clear the mark — a quarantined controller must never be pooled or
+// reused for another stream (session.Runtime refuses to pool it).
+func (c *Controller) Quarantine() { c.quarantined = true }
+
+// Quarantined reports whether Quarantine was ever called on this
+// instance.
+func (c *Controller) Quarantined() bool { return c.quarantined }
 
 // Done reports whether all actions of the cycle have been scheduled.
 func (c *Controller) Done() bool { return c.i >= len(c.alpha) }

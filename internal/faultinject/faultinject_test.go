@@ -1,0 +1,134 @@
+package faultinject
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+)
+
+func TestScheduleDeterministic(t *testing.T) {
+	a := New(42, 16, 64)
+	b := New(42, 16, 64)
+	if !reflect.DeepEqual(a.Events(), b.Events()) {
+		t.Fatalf("same seed diverged:\n%v\n%v", a.Events(), b.Events())
+	}
+	c := New(43, 16, 64)
+	if reflect.DeepEqual(a.Events(), c.Events()) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestScheduleShape(t *testing.T) {
+	s := New(7, 16, 64)
+	kinds := map[Kind]int{}
+	for _, ev := range s.Events() {
+		kinds[ev.Kind]++
+		if ev.Period < 64/4 || ev.Period > 64/4+64/2 {
+			t.Errorf("%v outside the middle half of the horizon", ev)
+		}
+		switch ev.Kind {
+		case Stall, WorkloadPanic, Overrun:
+			if ev.Stream < 0 || ev.Stream >= 16 {
+				t.Errorf("%v targets stream out of range", ev)
+			}
+			if s.Healthy(ev.Stream) {
+				t.Errorf("afflicted stream %d reported healthy", ev.Stream)
+			}
+		case AdmissionStorm, TotalShrink:
+			if ev.Stream != -1 {
+				t.Errorf("fleet-level %v targets a stream", ev)
+			}
+		}
+		if ev.Kind == Overrun && ev.Arg <= 1 {
+			t.Errorf("overrun factor %v not beyond contract", ev.Arg)
+		}
+		if ev.Kind == TotalShrink && (ev.Arg <= 0 || ev.Arg >= 1) {
+			t.Errorf("shrink fraction %v not in (0,1)", ev.Arg)
+		}
+	}
+	for _, k := range AllKinds {
+		if kinds[k] == 0 {
+			t.Errorf("default mix scheduled no %v", k)
+		}
+	}
+	// At most one stream-level fault per stream keeps "healthy" crisp.
+	healthy := 0
+	for i := 0; i < 16; i++ {
+		if s.Healthy(i) {
+			healthy++
+		}
+	}
+	if afflicted := 16 - healthy; afflicted != 3*(1+16/8) {
+		t.Errorf("afflicted %d streams, want %d distinct", afflicted, 3*(1+16/8))
+	}
+}
+
+func TestScheduleKindSubset(t *testing.T) {
+	s := New(1, 8, 40, Stall)
+	for _, ev := range s.Events() {
+		if ev.Kind != Stall {
+			t.Fatalf("subset schedule contains %v", ev)
+		}
+	}
+	if len(s.Events()) == 0 {
+		t.Fatal("subset schedule empty")
+	}
+	if got := New(1, 8, 40, TotalShrink).Events(); len(got) != 1 || got[0].Kind != TotalShrink {
+		t.Fatalf("shrink-only schedule: %v", got)
+	}
+}
+
+func TestWorkloadWrapper(t *testing.T) {
+	base := platform.WorkloadFunc(func(core.ActionID, core.Level) core.Cycles { return 10 })
+
+	// Find a schedule with an overrun and a panic stream.
+	s := New(3, 16, 64, Overrun, WorkloadPanic)
+	var over, pan Event
+	for _, ev := range s.Events() {
+		switch ev.Kind {
+		case Overrun:
+			over = ev
+		case WorkloadPanic:
+			pan = ev
+		}
+	}
+
+	period := 0
+	w := s.Workload(over.Stream, &period, base)
+	if got := w.Cost(0, 0); got != 10 {
+		t.Fatalf("overrun manifested before its period: cost %v", got)
+	}
+	period = over.Period
+	if got, want := w.Cost(0, 0), core.Cycles(float64(10)*over.Arg); got != want {
+		t.Fatalf("overrun cost %v, want %v", got, want)
+	}
+
+	period = pan.Period - 1
+	pw := s.Workload(pan.Stream, &period, base)
+	if got := pw.Cost(0, 0); got != 10 {
+		t.Fatalf("panic manifested before its period: cost %v", got)
+	}
+	period = pan.Period
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduled panic did not fire")
+			}
+		}()
+		pw.Cost(0, 0)
+	}()
+
+	// A healthy stream gets the base workload back, unwrapped.
+	healthy := -1
+	for i := 0; i < 16; i++ {
+		if s.Healthy(i) {
+			healthy = i
+			break
+		}
+	}
+	if hw := s.Workload(healthy, &period, base); reflect.ValueOf(hw).Pointer() != reflect.ValueOf(base).Pointer() {
+		t.Error("healthy stream's workload was wrapped")
+	}
+}

@@ -16,16 +16,39 @@
 // shrunk remaining time, so quality degrades (and hard deadlines stay
 // safe, by Proposition 2.1) exactly as if the cycle had started late.
 //
-// Degradation is a two-step ladder: when the aggregate *full-quality*
-// load exceeds the budget, shares shrink toward each stream's minimal
-// worst-case need — per-stream qmin; when even the aggregate qmin load
-// would exceed the budget, admission is rejected (ErrBudgetExhausted).
+// # Degradation order
+//
+// Overload degrades in a documented order, hard guarantees last:
+//
+//  1. Slack shrinks: every stream falls from FullNeed toward its
+//     MinNeed floor (reduced quality, no misses).
+//  2. Soft floors shed: when even Σ MinNeed no longer fits (a SetTotal
+//     shrink), soft-mode streams lose their MinNeed floor —
+//     latest-admitted first — while hard reserves stay untouched.
+//  3. Admission rejects: a new stream whose MinNeed does not fit is
+//     refused (ErrBudgetExhausted) or queued (AdmitWait).
+//
+// Hard-mode reserves are never demoted and never revoked implicitly;
+// the only way a hard stream loses its share is an explicit Release or
+// a lease expiry (see below), so healthy hard streams never miss.
+//
+// # Leases
+//
+// SetLease arms liveness leasing: every cycle-boundary share read
+// (CycleDelay, LeaseDelay, Share) renews the grant's lease for free,
+// and each Rebalance advances the lease epoch and reaps grants that
+// completed no cycle within K epochs — a crashed or stalled stream's
+// reservation returns to the pool instead of starving the fleet. A
+// revoked grant's next LeaseDelay reports ErrGrantRevoked, so the
+// stream's session fails fast at its next Reset.
 package mixer
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 )
@@ -66,6 +89,13 @@ func (p Policy) String() string {
 // silently broken.
 var ErrBudgetExhausted = errors.New("mixer: aggregate worst-case load exceeds the shared budget")
 
+// ErrGrantRevoked is returned by Grant.LeaseDelay (and surfaced through
+// session.Session at the next Reset) after the reaper revoked the grant
+// for liveness: the stream completed no cycle within the lease window,
+// its reservation went back to the pool, and the stream must re-admit
+// to continue.
+var ErrGrantRevoked = errors.New("mixer: grant revoked (lease expired or released)")
+
 // StreamSpec is the admission contract of one stream — the three points
 // of its quality/budget curve the mixer reasons about, all in cycles
 // per period.
@@ -85,6 +115,11 @@ type StreamSpec struct {
 	FullNeed core.Cycles
 	// Weight biases the Weighted policy; zero means 1.
 	Weight float64
+	// Soft marks a stream running its controller in soft mode: its
+	// MinNeed floor is sheddable under pressure (degradation step 2),
+	// so a SetTotal shrink demotes soft shares before it would ever
+	// fail for want of hard reserves.
+	Soft bool
 }
 
 // Validate checks the spec's internal consistency.
@@ -114,6 +149,10 @@ type Budget struct {
 	policy    Policy
 	grants    []*Grant    // admission order; shares valid for the coming cycle
 	committed core.Cycles // running Σ MinNeed of the admitted grants
+	// hardCommitted is the Σ MinNeed of the admitted hard-mode grants
+	// alone — the floor below which SetTotal refuses to shrink (soft
+	// floors are sheddable, hard reserves are not).
+	hardCommitted core.Cycles
 	// dirty defers the share re-partition to the next read (Share,
 	// CycleDelay, Stats): admissions and releases stay O(1), so
 	// admitting N streams in a burst costs O(N), not O(N²).
@@ -122,6 +161,18 @@ type Budget struct {
 	// open set in waterFill). It is grown in Admit so the per-cycle
 	// repartition itself never allocates.
 	scratch []*Grant
+
+	// Lease bookkeeping (SetLease). epoch counts Rebalance calls while
+	// leasing is armed; a grant whose lastRenew falls more than leaseK
+	// epochs behind is revoked by the reaper.
+	leaseK  int
+	epoch   uint64
+	revoked int64
+
+	// waitCh, when non-nil, is closed (exactly once) the next time
+	// capacity frees up — a release, a revocation, or a SetTotal growth
+	// — to wake AdmitWait callers. Lazily re-armed by capacityCh.
+	waitCh chan struct{}
 }
 
 // New builds a shared budget of total cycles per period under the given
@@ -146,22 +197,42 @@ func (b *Budget) Total() core.Cycles {
 	return b.total
 }
 
+// SetLease arms liveness leasing with a window of k epochs: a grant
+// that performs no cycle-boundary share read (CycleDelay, LeaseDelay,
+// Share) across more than k consecutive Rebalance calls is revoked by
+// the reaper and its reservation returned to the pool. k ≤ 0 disarms
+// leasing. Existing grants start with a fresh lease.
+func (b *Budget) SetLease(k int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.leaseK = k
+	for _, g := range b.grants {
+		g.lastRenew = b.epoch
+	}
+}
+
 // SetTotal re-targets the global budget between periods (e.g. a DVFS
-// change or a co-tenant arriving) and re-partitions the shares. It
-// fails if the admitted streams' aggregate minimal need no longer fits:
-// the mixer never revokes an admission implicitly.
+// change or a co-tenant arriving) and re-partitions the shares. A
+// shrink follows the degradation order: soft-mode floors are shed
+// (latest-admitted first) before the call would ever fail, and it
+// fails only if the hard-mode streams' aggregate minimal need no
+// longer fits — the mixer never revokes a hard admission implicitly.
 func (b *Budget) SetTotal(total core.Cycles) error {
 	if total <= 0 || total.IsInf() {
 		return fmt.Errorf("mixer: total budget %v must be positive and finite", total)
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if b.committed > total {
-		return fmt.Errorf("%w: %d admitted streams need %v, new total %v",
-			ErrBudgetExhausted, len(b.grants), b.committed, total)
+	if b.hardCommitted > total {
+		return fmt.Errorf("%w: hard-mode reserves need %v, new total %v",
+			ErrBudgetExhausted, b.hardCommitted, total)
 	}
+	grew := total > b.total
 	b.total = total
 	b.dirty = true
+	if grew {
+		b.notifyCapacity()
+	}
 	return nil
 }
 
@@ -183,7 +254,7 @@ func (b *Budget) Admit(spec StreamSpec) (*Grant, error) {
 		return nil, fmt.Errorf("%w: %d streams would need %v of %v",
 			ErrBudgetExhausted, len(b.grants)+1, committed, b.total)
 	}
-	g := &Grant{b: b, spec: spec}
+	g := &Grant{b: b, spec: spec, lastRenew: b.epoch}
 	b.grants = append(b.grants, g)
 	if cap(b.scratch) < len(b.grants) {
 		// Grow here, on the cold admission path, so the hot
@@ -191,8 +262,71 @@ func (b *Budget) Admit(spec StreamSpec) (*Grant, error) {
 		b.scratch = make([]*Grant, 0, 2*len(b.grants))
 	}
 	b.committed = b.committed.AddSat(spec.MinNeed)
+	if !spec.Soft {
+		b.hardCommitted = b.hardCommitted.AddSat(spec.MinNeed)
+	}
 	b.dirty = true
 	return g, nil
+}
+
+// AdmitWait is Admit with queuing: instead of failing immediately on a
+// full budget it waits — with exponential backoff, woken early whenever
+// capacity frees up (a release, a revocation, a SetTotal growth) — and
+// retries until the admission fits or ctx expires. Errors other than
+// ErrBudgetExhausted (an invalid spec) return immediately; a ctx
+// cancellation/deadline returns ctx.Err().
+func (b *Budget) AdmitWait(ctx context.Context, spec StreamSpec) (*Grant, error) {
+	backoff := time.Millisecond
+	const maxBackoff = 50 * time.Millisecond
+	for {
+		g, err := b.Admit(spec)
+		if err == nil {
+			return g, nil
+		}
+		if !errors.Is(err, ErrBudgetExhausted) {
+			return nil, err
+		}
+		// Arm the capacity signal, then re-check: a release between the
+		// failed Admit and capacityCh must not become a lost wakeup.
+		ch := b.capacityCh()
+		if g, err := b.Admit(spec); err == nil {
+			return g, nil
+		} else if !errors.Is(err, ErrBudgetExhausted) {
+			return nil, err
+		}
+		timer := time.NewTimer(backoff)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, ctx.Err()
+		case <-ch:
+			timer.Stop()
+		case <-timer.C:
+		}
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
+}
+
+// capacityCh returns a channel closed the next time capacity frees up.
+func (b *Budget) capacityCh() <-chan struct{} {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.waitCh == nil {
+		b.waitCh = make(chan struct{})
+	}
+	return b.waitCh
+}
+
+// notifyCapacity wakes AdmitWait callers. Callers hold b.mu. The
+// channel is dropped after the close so the hot Rebalance path never
+// allocates a replacement — capacityCh re-arms lazily.
+func (b *Budget) notifyCapacity() {
+	if b.waitCh != nil {
+		close(b.waitCh)
+		b.waitCh = nil
+	}
 }
 
 // Headroom returns how many more streams of the given spec the budget
@@ -210,16 +344,56 @@ func (b *Budget) Headroom(spec StreamSpec) int {
 	return int(b.total.SubSat(b.committed) / spec.MinNeed)
 }
 
-// Rebalance forces an immediate re-partition. Admit, Release, SetTotal
-// and SetWeight already schedule one for the next share read, so this
-// is only needed to pay the cost eagerly.
+// Rebalance forces an immediate re-partition at a period boundary.
+// When leasing is armed (SetLease) it also advances the lease epoch
+// and runs the reaper: grants that completed no cycle within the lease
+// window are revoked, their reservations reclaimed, and budget
+// conservation (Σ shares ≤ total) is asserted before returning. Admit,
+// Release, SetTotal and SetWeight already schedule a re-partition for
+// the next share read, so callers that do not want leasing only need
+// Rebalance to pay the cost eagerly.
 //
 //qos:hotpath
 func (b *Budget) Rebalance() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if b.leaseK > 0 {
+		b.epoch++
+		n := 0
+		for _, g := range b.grants {
+			if g.state == grantActive && b.epoch-g.lastRenew > uint64(b.leaseK) {
+				// Lease expired: revoke in place. The stream observes
+				// ErrGrantRevoked at its next LeaseDelay read.
+				g.state = grantRevoked
+				g.share = 0
+				b.committed = b.committed.SubSat(g.spec.MinNeed)
+				if !g.spec.Soft {
+					b.hardCommitted = b.hardCommitted.SubSat(g.spec.MinNeed)
+				}
+				b.revoked++
+				b.dirty = true
+				continue
+			}
+			b.grants[n] = g
+			n++
+		}
+		if n < len(b.grants) {
+			for i := n; i < len(b.grants); i++ {
+				b.grants[i] = nil
+			}
+			b.grants = b.grants[:n]
+			b.notifyCapacity()
+		}
+	}
 	b.repartition()
 	b.dirty = false
+	granted := core.Cycles(0)
+	for _, g := range b.grants {
+		granted = granted.AddSat(g.share)
+	}
+	if granted > b.total {
+		panic("mixer: budget conservation violated: granted shares exceed total after rebalance")
+	}
 }
 
 // ensureShares re-partitions if membership, weights or the total
@@ -237,13 +411,21 @@ type Stats struct {
 	Streams int
 	// Total is the global budget; Committed the aggregate minimal
 	// worst-case need of the admitted streams; Slack their difference;
-	// Granted the aggregate share actually handed out (Committed ≤
-	// Granted ≤ Total).
+	// Granted the aggregate share actually handed out (Granted ≤
+	// Total).
 	Total, Committed, Slack, Granted core.Cycles
+	// HardCommitted is the sheddable-floor boundary: the Σ MinNeed of
+	// hard-mode grants alone, the floor SetTotal will not shrink below.
+	HardCommitted core.Cycles
 	// Degraded reports that at least one stream is pinned at its
 	// minimal share (per-stream qmin): the aggregate full-quality load
 	// exceeds the budget.
 	Degraded bool
+	// SoftDemoted counts soft-mode streams currently below their
+	// MinNeed floor (degradation step 2 is active).
+	SoftDemoted int
+	// Revoked counts lease revocations since the budget was built.
+	Revoked int64
 }
 
 // Stats returns a snapshot of the shared budget.
@@ -251,10 +433,18 @@ func (b *Budget) Stats() Stats {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.ensureShares()
-	st := Stats{Policy: b.policy, Streams: len(b.grants), Total: b.total, Committed: b.committed}
+	st := Stats{
+		Policy: b.policy, Streams: len(b.grants),
+		Total: b.total, Committed: b.committed,
+		HardCommitted: b.hardCommitted, Revoked: b.revoked,
+	}
 	for _, g := range b.grants {
 		st.Granted = st.Granted.AddSat(g.share)
 		if g.share == g.spec.MinNeed && g.spec.FullNeed > g.spec.MinNeed {
+			st.Degraded = true
+		}
+		if g.spec.Soft && g.share < g.spec.MinNeed {
+			st.SoftDemoted++
 			st.Degraded = true
 		}
 	}
@@ -263,10 +453,14 @@ func (b *Budget) Stats() Stats {
 }
 
 // repartition recomputes every grant's share for the coming cycle.
-// Callers hold b.mu. Shares start at each stream's minimal need; the
-// remaining slack is distributed under the policy, capped per stream at
-// its nominal budget. The computation is deterministic: ties and
-// remainders resolve in admission order.
+// Callers hold b.mu. It applies the documented degradation order: hard
+// floors first (every hard grant starts at its MinNeed — always fits,
+// by the Admit/SetTotal invariants), then soft floors in admission
+// order from what remains (so a shrunk budget demotes the
+// latest-admitted soft streams first), then the remaining slack is
+// distributed under the policy, capped per stream at its nominal
+// budget. The computation is deterministic: ties and remainders
+// resolve in admission order.
 func (b *Budget) repartition() {
 	n := len(b.grants)
 	if n == 0 {
@@ -274,8 +468,20 @@ func (b *Budget) repartition() {
 	}
 	slack := b.total
 	for _, g := range b.grants {
-		g.share = g.spec.MinNeed
-		slack = slack.SubSat(g.spec.MinNeed)
+		if !g.spec.Soft {
+			g.share = g.spec.MinNeed
+			slack = slack.SubSat(g.spec.MinNeed)
+		}
+	}
+	for _, g := range b.grants {
+		if g.spec.Soft {
+			floor := g.spec.MinNeed
+			if floor > slack {
+				floor = slack
+			}
+			g.share = floor
+			slack = slack.SubSat(floor)
+		}
 	}
 	if slack <= 0 {
 		return
@@ -387,29 +593,30 @@ func (b *Budget) waterFill(slack core.Cycles, weighted bool) core.Cycles {
 	return 0
 }
 
-// release removes g; the survivors' shares re-partition at their next
-// read.
-func (b *Budget) release(g *Grant) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	for i, h := range b.grants {
-		if h == g {
-			b.grants = append(b.grants[:i], b.grants[i+1:]...)
-			b.committed = b.committed.SubSat(g.spec.MinNeed)
-			b.dirty = true
-			return
-		}
-	}
-}
+// grantState is the lifecycle of a Grant: active until exactly one of
+// Release (voluntary) or the reaper (lease expiry) retires it. Both
+// terminal states are absorbing — a release racing a revocation is a
+// no-op on whichever side loses, never double accounting.
+type grantState uint8
+
+const (
+	grantActive grantState = iota
+	grantReleased
+	grantRevoked
+)
 
 // Grant is one admitted stream's handle on the shared budget. A Grant
 // is safe for concurrent use; the stream typically reads CycleDelay at
-// each cycle boundary (session.Runtime.AcquireBudgeted wires this up).
+// each cycle boundary (session.Runtime.AcquireBudgeted wires this up),
+// which doubles as the liveness-lease renewal when SetLease armed the
+// reaper.
 type Grant struct {
-	b        *Budget
-	spec     StreamSpec
-	share    core.Cycles // guarded by b.mu
-	released bool        // guarded by b.mu
+	b    *Budget
+	spec StreamSpec
+	// share, state and lastRenew are guarded by b.mu.
+	share     core.Cycles
+	state     grantState
+	lastRenew uint64 // lease epoch of the last cycle-boundary read
 }
 
 // Spec returns the admission contract.
@@ -419,25 +626,61 @@ func (g *Grant) Spec() StreamSpec {
 	return g.spec
 }
 
-// Share returns the stream's cycle share for the coming period,
-// MinNeed ≤ share ≤ Nominal.
+// Share returns the stream's cycle share for the coming period
+// (0 once released or revoked). Reading it renews the liveness lease.
 func (g *Grant) Share() core.Cycles {
 	g.b.mu.Lock()
 	defer g.b.mu.Unlock()
+	if g.state != grantActive {
+		return 0
+	}
+	g.lastRenew = g.b.epoch
 	g.b.ensureShares()
 	return g.share
 }
 
+// Revoked reports whether the reaper revoked this grant for liveness.
+func (g *Grant) Revoked() bool {
+	g.b.mu.Lock()
+	defer g.b.mu.Unlock()
+	return g.state == grantRevoked
+}
+
 // CycleDelay returns Nominal − Share: the elapsed-time handicap to
 // charge the stream's controller at cycle start (see the package
-// comment). It implements session.BudgetSource.
+// comment). It implements session.BudgetSource and renews the liveness
+// lease. A released or revoked grant yields the full Nominal handicap
+// (the stream holds no share); use LeaseDelay to observe revocation as
+// an error.
 //
 //qos:hotpath
 func (g *Grant) CycleDelay() core.Cycles {
 	g.b.mu.Lock()
 	defer g.b.mu.Unlock()
+	if g.state != grantActive {
+		return g.spec.Nominal
+	}
+	g.lastRenew = g.b.epoch
 	g.b.ensureShares()
 	return g.spec.Nominal.SubSat(g.share)
+}
+
+// LeaseDelay is CycleDelay with liveness reporting, in the same single
+// lock acquisition: it renews the lease and returns the cycle handicap,
+// or ErrGrantRevoked once the grant was revoked (or released). It
+// implements session.LeasedBudgetSource, so a budgeted session fails
+// fast at its next Reset instead of serving on a reclaimed share.
+//
+//qos:hotpath
+func (g *Grant) LeaseDelay() (core.Cycles, error) {
+	g.b.mu.Lock()
+	defer g.b.mu.Unlock()
+	if g.state != grantActive {
+		return g.spec.Nominal, ErrGrantRevoked
+	}
+	g.lastRenew = g.b.epoch
+	g.b.ensureShares()
+	return g.spec.Nominal.SubSat(g.share), nil
 }
 
 // SetWeight changes the stream's Weighted-policy bias; shares
@@ -453,15 +696,31 @@ func (g *Grant) SetWeight(w float64) {
 	g.b.dirty = true
 }
 
-// Release returns the stream's reservation to the budget and
-// re-partitions the surviving shares. Release is idempotent.
+// Release returns the stream's reservation to the budget; the
+// survivors' shares re-partition at their next read. Release is
+// idempotent and safe against the release-vs-reclaim race: the state
+// transition and the accounting happen under one lock acquisition, so
+// a double release — or a release racing the reaper's revocation of
+// the same grant — retires the reservation exactly once.
 func (g *Grant) Release() {
-	g.b.mu.Lock()
-	if g.released {
-		g.b.mu.Unlock()
+	b := g.b
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if g.state != grantActive {
 		return
 	}
-	g.released = true
-	g.b.mu.Unlock()
-	g.b.release(g)
+	g.state = grantReleased
+	g.share = 0
+	for i, h := range b.grants {
+		if h == g {
+			b.grants = append(b.grants[:i], b.grants[i+1:]...)
+			break
+		}
+	}
+	b.committed = b.committed.SubSat(g.spec.MinNeed)
+	if !g.spec.Soft {
+		b.hardCommitted = b.hardCommitted.SubSat(g.spec.MinNeed)
+	}
+	b.dirty = true
+	b.notifyCapacity()
 }

@@ -11,6 +11,7 @@
 package pipeline
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/mpeg"
 	"repro/internal/platform"
 	"repro/internal/sched"
+	"repro/internal/session"
 	"repro/internal/video"
 )
 
@@ -135,6 +137,30 @@ func (r *Result) EncodedRecords() []FrameRecord {
 // given config list and budget. Pass nil for the previous
 // independent-streams behaviour.
 func RunStreams(cfgs []Config, shared *mixer.Budget) ([]*Result, error) {
+	return runStreams(cfgs, shared, func(spec mixer.StreamSpec) (*mixer.Grant, error) {
+		return shared.Admit(spec)
+	})
+}
+
+// RunStreamsCtx is RunStreams with queued admissions: a stream the
+// budget cannot carry right now waits (mixer.AdmitWait — woken by
+// releases, revocations and budget growth, bounded by ctx) instead of
+// failing immediately, so a burst of arrivals degrades into admission
+// latency rather than rejections. A stream still waiting when ctx
+// expires fails with ctx's error while its siblings proceed.
+func RunStreamsCtx(ctx context.Context, cfgs []Config, shared *mixer.Budget) ([]*Result, error) {
+	return runStreams(cfgs, shared, func(spec mixer.StreamSpec) (*mixer.Grant, error) {
+		return shared.AdmitWait(ctx, spec)
+	})
+}
+
+// runStreams is the shared body of RunStreams/RunStreamsCtx; admit is
+// consulted only when shared is non-nil. Each stream goroutine is
+// panic-isolated: a panicking encoder (a poisoned model, a broken
+// workload) fails only its own slot — wrapped in
+// session.ErrWorkloadPanic — releases its grant back to the fleet, and
+// never takes its siblings down.
+func runStreams(cfgs []Config, shared *mixer.Budget, admit func(mixer.StreamSpec) (*mixer.Grant, error)) ([]*Result, error) {
 	results := make([]*Result, len(cfgs))
 	errs := make([]error, len(cfgs))
 	grants := make([]*mixer.Grant, len(cfgs))
@@ -146,7 +172,7 @@ func RunStreams(cfgs []Config, shared *mixer.Budget) ([]*Result, error) {
 				errs[i] = fmt.Errorf("pipeline: stream %d: %w", i, err)
 				continue
 			}
-			g, err := shared.Admit(streamSpec(cfgs[i], enc))
+			g, err := admit(streamSpec(cfgs[i], enc))
 			if err != nil {
 				errs[i] = fmt.Errorf("pipeline: stream %d: %w", i, err)
 				continue
@@ -169,6 +195,17 @@ func RunStreams(cfgs []Config, shared *mixer.Budget) ([]*Result, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			defer func() {
+				if cause := recover(); cause != nil {
+					errs[i] = fmt.Errorf("pipeline: stream %d: %w: %v", i, session.ErrWorkloadPanic, cause)
+					results[i] = nil
+					if grants[i] != nil {
+						// Return the share to the survivors right away
+						// instead of holding it to the end of the run.
+						grants[i].Release()
+					}
+				}
+			}()
 			res, err := run(cfgs[i], grants[i], encs[i])
 			if err != nil {
 				errs[i] = fmt.Errorf("pipeline: stream %d: %w", i, err)

@@ -1,0 +1,107 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/mixer"
+	"repro/internal/sched"
+	"repro/internal/session"
+)
+
+// panicPolicy panics on the Nth frame decision — a poisoned stream.
+type panicPolicy struct{ after int }
+
+func (p *panicPolicy) Name() string { return "panic" }
+func (p *panicPolicy) Decide(ctx sched.FrameContext) sched.Decision {
+	if ctx.Index >= p.after {
+		panic("poisoned stream")
+	}
+	return sched.Decision{Level: 0}
+}
+func (p *panicPolicy) Reset() {}
+
+// TestStreamPanicIsolated: a panicking stream fails only its own slot —
+// wrapped in session.ErrWorkloadPanic — while its siblings finish, and
+// its grant returns to the budget.
+func TestStreamPanicIsolated(t *testing.T) {
+	src := smallSource(t)
+	healthy := Config{Source: src, K: 1, Controlled: true, Seed: 5}
+	poisoned := Config{Source: src, K: 1, Policy: &panicPolicy{after: 3}, Seed: 6}
+
+	// Size the budget from the streams' own specs so both admit.
+	he, err := buildEncoder(healthy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe, err := buildEncoder(poisoned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := streamSpec(healthy, he).MinNeed.AddSat(streamSpec(poisoned, pe).MinNeed).MulSat(2)
+	shared, err := mixer.New(total, mixer.Fair)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	results, err := RunStreams([]Config{healthy, poisoned}, shared)
+	if !errors.Is(err, session.ErrWorkloadPanic) {
+		t.Fatalf("joined error %v does not wrap ErrWorkloadPanic", err)
+	}
+	if results[0] == nil || results[0].Skips != 0 {
+		t.Fatalf("healthy sibling harmed: %+v", results[0])
+	}
+	if results[1] != nil {
+		t.Fatal("poisoned stream produced a result")
+	}
+	// The poisoned stream's reservation was returned.
+	if st := shared.Stats(); st.Streams != 0 || st.Committed != 0 {
+		t.Fatalf("budget not drained after run: %+v", st)
+	}
+}
+
+func TestRunStreamsCtxQueuedAdmission(t *testing.T) {
+	src := smallSource(t)
+	cfg := Config{Source: src, K: 1, Controlled: true, Seed: 5}
+	enc, err := buildEncoder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := streamSpec(cfg, enc)
+
+	// Budget fits both: Ctx admission behaves exactly like RunStreams.
+	roomy, err := mixer.New(spec.MinNeed.MulSat(2), mixer.Fair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := RunStreamsCtx(context.Background(), []Config{cfg, cfg}, roomy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0] == nil || results[1] == nil {
+		t.Fatal("queued admission lost a stream")
+	}
+
+	// Budget fits one: the second waits until ctx expires, the first
+	// proceeds untouched.
+	tight, err := mixer.New(spec.MinNeed.AddSat(spec.MinNeed/2), mixer.Fair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results, err = RunStreamsCtx(ctx, []Config{cfg, cfg}, tight)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("over-capacity Ctx admission: %v", err)
+	}
+	if results[0] == nil {
+		t.Fatal("admitted stream did not run")
+	}
+	if results[1] != nil {
+		t.Fatal("unadmitted stream produced a result")
+	}
+	if st := tight.Stats(); st.Streams != 0 || st.Committed != 0 {
+		t.Fatalf("budget not drained: %+v", st)
+	}
+}

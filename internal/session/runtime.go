@@ -20,11 +20,12 @@ type Runtime struct {
 	prog *core.Program
 	pool sync.Pool
 
-	active    atomic.Int64
-	cycles    atomic.Int64
-	actions   atomic.Int64
-	fallbacks atomic.Int64
-	misses    atomic.Int64
+	active      atomic.Int64
+	cycles      atomic.Int64
+	actions     atomic.Int64
+	fallbacks   atomic.Int64
+	misses      atomic.Int64
+	quarantined atomic.Int64
 }
 
 // NewRuntime validates the system, precomputes its controller program
@@ -63,6 +64,17 @@ type BudgetSource interface {
 	CycleDelay() core.Cycles
 }
 
+// LeasedBudgetSource is a BudgetSource whose share can be revoked out
+// from under the stream — a leased mixer.Grant reaped for liveness.
+// LeaseDelay returns the same handicap as CycleDelay (and renews the
+// liveness lease), or an error once the grant is gone; a budgeted
+// session consults it at every cycle boundary and fails fast on
+// revocation instead of serving on a reclaimed share.
+type LeasedBudgetSource interface {
+	BudgetSource
+	LeaseDelay() (core.Cycles, error)
+}
+
 // Acquire hands out a fresh Session for one stream, reusing a pooled
 // controller instance when available. The session is at a cycle
 // boundary. Observers are per-acquire: they see only this stream.
@@ -96,6 +108,10 @@ func (r *Runtime) Acquire(obs ...Observer) *Session {
 func (r *Runtime) AcquireBudgeted(src BudgetSource, obs ...Observer) *Session {
 	s := r.Acquire(obs...)
 	s.budget = src
+	// Pay the leased-source type assertion once here, not per cycle.
+	if l, ok := src.(LeasedBudgetSource); ok {
+		s.leased = l
+	}
 	s.applyBudget()
 	return s
 }
@@ -113,11 +129,14 @@ func (r *Runtime) Release(s *Session) {
 	ctrl := s.ctrl
 	s.ctrl = nil
 	s.budget = nil
+	s.leased = nil
 	r.active.Add(-1)
 	// A Retarget would have forked the controller off the shared
-	// program, and a ShiftDeadlines leaves a private time base behind;
-	// keep only instances indistinguishable from fresh ones.
-	if ctrl != nil && ctrl.Program() == r.prog && ctrl.DeadlineShift() == 0 {
+	// program, a ShiftDeadlines leaves a private time base behind, and
+	// a quarantined controller's mid-cycle state is unknowable after a
+	// workload panic; keep only instances indistinguishable from fresh
+	// ones.
+	if ctrl != nil && !ctrl.Quarantined() && ctrl.Program() == r.prog && ctrl.DeadlineShift() == 0 {
 		r.pool.Put(ctrl)
 	}
 }
@@ -153,6 +172,10 @@ type RuntimeStats struct {
 	Cycles, Actions int64
 	// Fallbacks, Misses aggregate the corresponding per-cycle counts.
 	Fallbacks, Misses int64
+	// Quarantined counts controllers poisoned by workload panics
+	// (Session.Run recovered, quarantined the instance, and refused to
+	// pool it again).
+	Quarantined int64
 }
 
 // Stats returns a snapshot of the served totals. Cycles driven manually
@@ -164,5 +187,6 @@ func (r *Runtime) Stats() RuntimeStats {
 		Actions:        r.actions.Load(),
 		Fallbacks:      r.fallbacks.Load(),
 		Misses:         r.misses.Load(),
+		Quarantined:    r.quarantined.Load(),
 	}
 }

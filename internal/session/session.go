@@ -1,12 +1,21 @@
 package session
 
 import (
+	"errors"
+	"fmt"
 	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/platform"
 	"repro/internal/trace"
 )
+
+// ErrWorkloadPanic is wrapped into the error Session.Run returns when
+// the workload panics mid-cycle. The session is terminal afterwards
+// (Err reports it, Next/Run refuse to serve), its controller is
+// quarantined — a Runtime will never pool it again — and a leased
+// budget grant is released so the share returns to the fleet.
+var ErrWorkloadPanic = errors.New("session: workload panicked mid-cycle")
 
 // Observer receives the per-stream control events of a Session. All
 // hooks run synchronously on the stream's goroutine; observers attached
@@ -123,6 +132,16 @@ type Session struct {
 	// (CycleDelay) to the controller at every cycle start — see
 	// Runtime.AcquireBudgeted.
 	budget BudgetSource
+	// leased caches the LeasedBudgetSource view of budget (type
+	// assertion paid once at AcquireBudgeted, not per cycle): when
+	// non-nil, every cycle start goes through LeaseDelay so a revoked
+	// grant fails the session fast instead of serving on a reclaimed
+	// share.
+	leased LeasedBudgetSource
+	// termErr latches the session's terminal error — a revoked lease
+	// (surfaced at Reset) or a workload panic. Once set, Next and Run
+	// refuse to serve; Err exposes it.
+	termErr error
 
 	// lean makes Run skip the per-cycle Trace/Assignment/Schedule
 	// snapshots (core.RunCycleLeanWith) so steady-state serving
@@ -189,16 +208,37 @@ func (s *Session) Assignment() core.Assignment { return s.ctrl.Assignment() }
 // Reset prepares the session for a new cycle over the same stream. A
 // budgeted session (Runtime.AcquireBudgeted) re-reads its shared-budget
 // share here: the cycle opens with the other streams' CPU time already
-// charged.
+// charged. If the share came from a leased source whose grant was
+// revoked, Reset fails fast: Err reports the revocation and the next
+// Next/Run returns it instead of serving on a reclaimed share. A
+// terminal session (revoked or panicked) stays terminal; Reset is then
+// a no-op.
 func (s *Session) Reset() {
+	if s.termErr != nil {
+		return
+	}
 	s.ctrl.Reset()
 	s.hasPending = false
 	s.applyBudget()
 }
 
+// Err returns the session's terminal error: the grant revocation or
+// workload panic that retired it, or nil while the session serves.
+func (s *Session) Err() error { return s.termErr }
+
 // applyBudget charges the stream's current shared-budget handicap to
-// the controller at a cycle boundary.
+// the controller at a cycle boundary. A leased source that reports
+// revocation terminates the session instead.
 func (s *Session) applyBudget() {
+	if s.leased != nil {
+		dt, err := s.leased.LeaseDelay()
+		if err != nil {
+			s.termErr = err
+			return
+		}
+		s.ctrl.Preempt(dt)
+		return
+	}
 	if s.budget != nil {
 		s.ctrl.Preempt(s.budget.CycleDelay())
 	}
@@ -214,6 +254,9 @@ func (s *Session) Preempt(dt core.Cycles) { s.ctrl.Preempt(dt) }
 //
 //qos:hotpath
 func (s *Session) Next() (core.Decision, error) {
+	if s.termErr != nil {
+		return core.Decision{}, s.termErr
+	}
 	d, err := s.ctrl.Next()
 	if err != nil {
 		return d, err
@@ -256,9 +299,22 @@ func (s *Session) SetLean(lean bool) { s.lean = lean }
 // cycles, and the controller observes the completion. Misses are
 // counted against D_θ; observers fire on every step. The session must
 // be at a cycle boundary (fresh, Reset, or just acquired).
-func (s *Session) Run(w platform.Workload) (core.CycleResult, error) {
-	var res core.CycleResult
-	var err error
+//
+// Run isolates workload panics: a panicking workload does not unwind
+// into the caller. Instead the controller is quarantined (a Runtime
+// never pools it again), the leased budget grant — if any — is
+// released back to the fleet, the session turns terminal, and Run
+// returns an error wrapping ErrWorkloadPanic with the panic value.
+func (s *Session) Run(w platform.Workload) (res core.CycleResult, err error) {
+	if s.termErr != nil {
+		return core.CycleResult{}, s.termErr
+	}
+	defer func() {
+		if cause := recover(); cause != nil {
+			res = core.CycleResult{}
+			err = s.quarantine(cause)
+		}
+	}()
 	if s.lean {
 		res, err = core.RunCycleLeanWith(s, w.Cost)
 	} else {
@@ -271,6 +327,22 @@ func (s *Session) Run(w platform.Workload) (core.CycleResult, error) {
 		rt.account(&res)
 	}
 	return res, nil
+}
+
+// quarantine retires a session whose workload panicked: the controller
+// is poisoned for good (its mid-cycle state is unknowable), the grant
+// is released so the share returns to the pool, and the session turns
+// terminal.
+func (s *Session) quarantine(cause any) error {
+	s.ctrl.Quarantine()
+	s.termErr = ErrWorkloadPanic
+	if rt := s.owner.Load(); rt != nil {
+		rt.quarantined.Add(1)
+	}
+	if rel, ok := s.budget.(interface{ Release() }); ok {
+		rel.Release()
+	}
+	return fmt.Errorf("%w: %v", ErrWorkloadPanic, cause)
 }
 
 // RunFunc is Run with a bare function workload.

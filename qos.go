@@ -202,6 +202,11 @@ type (
 	// BudgetSource yields a budgeted session's per-cycle handicap;
 	// StreamGrant implements it.
 	BudgetSource = session.BudgetSource
+	// LeasedBudgetSource is a BudgetSource whose share can be revoked
+	// out from under the stream (lease expiry, SetTotal shrink);
+	// StreamGrant implements it and budgeted sessions fail fast on
+	// revocation at the next Reset.
+	LeasedBudgetSource = session.LeasedBudgetSource
 )
 
 // Share policies.
@@ -225,6 +230,13 @@ var (
 	// ErrBudgetExhausted rejects an admission the budget cannot carry
 	// even at minimal quality.
 	ErrBudgetExhausted = mixer.ErrBudgetExhausted
+	// ErrGrantRevoked reports a grant whose lease expired (the stream
+	// stopped reaching cycle boundaries) or that was released; the
+	// reservation has been reclaimed.
+	ErrGrantRevoked = mixer.ErrGrantRevoked
+	// ErrWorkloadPanic reports a workload that panicked mid-cycle; the
+	// session is terminal and its controller is quarantined.
+	ErrWorkloadPanic = session.ErrWorkloadPanic
 )
 
 // Controller options (forwarded via WithControllerOptions, NewRuntime
