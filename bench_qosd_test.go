@@ -1,0 +1,239 @@
+// BenchmarkQosdDecideBatch and its JSON emitter: the qosd daemon's
+// end-to-end serving path — HTTP round trip, JSON codec, registry
+// lookup, lease renewal, and one full 72-action controlled cycle per
+// stream — measured in ns per controller decision as seen by a remote
+// client. The emitter (TestEmitQosdBenchJSON) writes BENCH_qosd.json
+// when BENCH_QOSD_JSON names the output path; CI runs both on every
+// push:
+//
+//	BENCH_QOSD_JSON=BENCH_qosd.json \
+//	  go test -run TestEmitQosdBenchJSON -bench QosdDecideBatch -benchtime 1x .
+package qos_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/qosd"
+	"repro/internal/qosd/api"
+)
+
+// qosdBench is one end-to-end serving fixture: a daemon over the MPEG
+// body model behind a real HTTP listener, with `streams` admitted
+// streams and a reusable decide batch covering all of them.
+type qosdBench struct {
+	daemon  *qosd.Daemon
+	srv     *httptest.Server
+	client  *http.Client
+	streams []api.StreamInfo
+	req     api.DecideRequest
+	actions int
+}
+
+func newQosdBench(tb testing.TB, streams int) *qosdBench {
+	tb.Helper()
+	d, err := qosd.New(qosd.Config{
+		Models: []qosd.ModelFile{{Name: "mpeg_body", Path: filepath.Join("examples", "models", "mpeg_body.qos")}},
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	srv := httptest.NewServer(d.Handler())
+	q := &qosdBench{daemon: d, srv: srv, client: srv.Client()}
+
+	var ar api.AdmitResponse
+	q.post(tb, "/v1/admit", api.AdmitRequest{Streams: streams}, &ar)
+	if len(ar.Streams) != streams {
+		tb.Fatalf("admitted %d of %d streams", len(ar.Streams), streams)
+	}
+	q.streams = ar.Streams
+	q.actions = ar.Streams[0].Actions
+	q.req.Items = make([]api.DecideItem, streams)
+	for i, s := range ar.Streams {
+		q.req.Items[i] = api.DecideItem{Stream: s.ID, Load: 0.5}
+	}
+	return q
+}
+
+func (q *qosdBench) close() {
+	q.srv.Close()
+	q.daemon.Drain()
+}
+
+func (q *qosdBench) post(tb testing.TB, path string, v, out any) {
+	tb.Helper()
+	body, err := json.Marshal(v)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	resp, err := q.client.Post(q.srv.URL+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		tb.Fatalf("POST %s: HTTP %d", path, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		tb.Fatal(err)
+	}
+}
+
+// serve posts `batches` decide batches (one cycle per stream per batch)
+// and returns the aggregate misses and mean level, failing on any
+// non-200 item.
+func (q *qosdBench) serve(tb testing.TB, batches int) (misses int, meanLevel float64) {
+	tb.Helper()
+	var levelSum float64
+	for p := 0; p < batches; p++ {
+		var dr api.DecideResponse
+		q.post(tb, "/v1/decide", q.req, &dr)
+		for _, r := range dr.Results {
+			if r.Code != api.DecideOK {
+				tb.Fatalf("decide item for stream %d: code %d (%s)", r.Stream, r.Code, r.Error)
+			}
+			misses += r.Misses
+			levelSum += r.MeanLevel
+		}
+	}
+	return misses, levelSum / float64(batches*len(q.req.Items))
+}
+
+// BenchmarkQosdDecideBatch drives 1/4/8 admitted streams through one
+// controlled cycle per iteration over real HTTP. ns/decision is the
+// end-to-end cost per controller decision (72 per stream-cycle on the
+// MPEG body model) including the wire; zero deadline misses is part of
+// the contract, not just a metric.
+func BenchmarkQosdDecideBatch(b *testing.B) {
+	for _, streams := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("streams-%d", streams), func(b *testing.B) {
+			q := newQosdBench(b, streams)
+			defer q.close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			misses, _ := q.serve(b, b.N)
+			b.StopTimer()
+			if misses != 0 {
+				b.Fatalf("hard mode served with %d deadline misses", misses)
+			}
+			decisions := int64(b.N) * int64(streams) * int64(q.actions)
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(decisions), "ns/decision")
+			b.ReportMetric(float64(streams), "streams")
+		})
+	}
+}
+
+// qosdBenchPoint is one BENCH_qosd.json row.
+type qosdBenchPoint struct {
+	Streams         int     `json:"streams"`
+	Batches         int     `json:"batches"`
+	NsPerDecision   float64 `json:"ns_per_decision"`
+	DecisionsPerSec float64 `json:"decisions_per_sec"`
+	NsPerBatch      float64 `json:"ns_per_batch"`
+	MeanLevel       float64 `json:"mean_level"`
+	Misses          int     `json:"misses"`
+}
+
+// qosdBenchFile is the BENCH_qosd.json schema.
+type qosdBenchFile struct {
+	Benchmark  string           `json:"benchmark"`
+	Model      string           `json:"model"`
+	Transport  string           `json:"transport"`
+	GoVersion  string           `json:"go_version"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	Points     []qosdBenchPoint `json:"points"`
+}
+
+// TestEmitQosdBenchJSON measures the daemon's end-to-end decide path at
+// 1/4/8 streams and writes the results to the path named by
+// BENCH_QOSD_JSON (skipped when unset) — the checked-in BENCH_qosd.json
+// tracking the serving trajectory across PRs. Setting
+// BENCH_QOSD_BASELINE to a previous BENCH_qosd.json additionally fails
+// the run on a >25% ns/decision regression at any fleet size (the wire
+// makes this noisier than the in-process benches, hence the wider gate;
+// a local gate only — cross-machine wall clock is noise).
+func TestEmitQosdBenchJSON(t *testing.T) {
+	out := os.Getenv("BENCH_QOSD_JSON")
+	if out == "" {
+		t.Skip("BENCH_QOSD_JSON not set")
+	}
+	const batches = 150
+	file := qosdBenchFile{
+		Benchmark:  "QosdDecideBatch",
+		Model:      "examples/models/mpeg_body.qos",
+		Transport:  "http+json",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, streams := range []int{1, 4, 8} {
+		q := newQosdBench(t, streams)
+		start := time.Now()
+		misses, meanLevel := q.serve(t, batches)
+		elapsed := time.Since(start)
+		if misses != 0 {
+			t.Fatalf("streams=%d: hard mode served with %d misses", streams, misses)
+		}
+		decisions := int64(batches) * int64(streams) * int64(q.actions)
+		file.Points = append(file.Points, qosdBenchPoint{
+			Streams:         streams,
+			Batches:         batches,
+			NsPerDecision:   float64(elapsed.Nanoseconds()) / float64(decisions),
+			DecisionsPerSec: float64(decisions) / elapsed.Seconds(),
+			NsPerBatch:      float64(elapsed.Nanoseconds()) / float64(batches),
+			MeanLevel:       meanLevel,
+			Misses:          misses,
+		})
+		q.close()
+	}
+	checkQosdBaseline(t, file)
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+}
+
+// checkQosdBaseline compares fresh measurements against the baseline
+// named by BENCH_QOSD_BASELINE (no-op when unset).
+func checkQosdBaseline(t *testing.T, fresh qosdBenchFile) {
+	path := os.Getenv("BENCH_QOSD_BASELINE")
+	if path == "" {
+		return
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+	var base qosdBenchFile
+	if err := json.Unmarshal(data, &base); err != nil {
+		t.Fatalf("baseline %s: %v", path, err)
+	}
+	baseNs := make(map[int]float64, len(base.Points))
+	for _, p := range base.Points {
+		baseNs[p.Streams] = p.NsPerDecision
+	}
+	for _, p := range fresh.Points {
+		b, ok := baseNs[p.Streams]
+		if !ok || b <= 0 {
+			continue
+		}
+		if ratio := p.NsPerDecision / b; ratio > 1.25 {
+			t.Errorf("streams=%d: %.0f ns/decision is %.1f%% over baseline %.0f (>25%% regression)",
+				p.Streams, p.NsPerDecision, 100*(ratio-1), b)
+		} else {
+			t.Logf("streams=%d: %.0f ns/decision vs baseline %.0f (%.1f%%)",
+				p.Streams, p.NsPerDecision, b, 100*(ratio-1))
+		}
+	}
+}

@@ -20,6 +20,12 @@
 //	qosctl -model app.qos capacity -budget 20000000
 //	qosctl -model app.qos chaos -streams 16 -cycles 64 -seed 42
 //	qosctl -model app.qos chaos -faults stall,shrink -lease 2
+//
+// With -addr, capacity and admit talk to a running qosd instead of
+// computing locally:
+//
+//	qosctl -addr 127.0.0.1:9150 capacity
+//	qosctl -addr 127.0.0.1:9150 -model app.qos admit -streams 4
 package main
 
 import (
@@ -33,7 +39,7 @@ import (
 	"repro/internal/codegen"
 )
 
-const usageLine = "usage: qosctl -model <file> {show|check|schedule|tables|simulate|capacity|chaos}"
+const usageLine = "usage: qosctl [-addr host:port] -model <file> {show|check|schedule|tables|simulate|capacity|admit|chaos}"
 
 // cliConfig is the parsed command line.
 type cliConfig struct {
@@ -47,6 +53,7 @@ type cliConfig struct {
 	budget    int64
 	lease     int
 	faults    string
+	addr      string
 }
 
 func main() {
@@ -70,6 +77,7 @@ func realMain(argv []string, stdout, stderr io.Writer) int {
 	fs.Int64Var(&cfg.budget, "budget", 0, "capacity/chaos: shared cycle budget per period (chaos: 0 auto-sizes)")
 	fs.IntVar(&cfg.lease, "lease", 3, "chaos: lease window in epochs before an idle grant is reclaimed")
 	fs.StringVar(&cfg.faults, "faults", "all", "chaos: comma-separated fault kinds (stall,panic,overrun,storm,shrink) or all")
+	fs.StringVar(&cfg.addr, "addr", "", "qosd address: capacity and admit query the running daemon instead of computing locally")
 	usage := func() int {
 		fmt.Fprintln(stderr, usageLine)
 		return 2
@@ -85,7 +93,13 @@ func realMain(argv []string, stdout, stderr io.Writer) int {
 			return usage()
 		}
 	}
-	if cfg.modelPath == "" || cfg.cmd == "" || fs.NArg() != 0 {
+	if cfg.cmd == "" || fs.NArg() != 0 {
+		return usage()
+	}
+	// Remote commands identify the model by name over the wire; a local
+	// model file is only mandatory when the tool computes itself.
+	remoteOK := cfg.addr != "" && (cfg.cmd == "capacity" || cfg.cmd == "admit")
+	if cfg.modelPath == "" && !remoteOK {
 		return usage()
 	}
 	if cfg.streams < 1 {
@@ -152,7 +166,15 @@ func run(cfg cliConfig, out io.Writer) error {
 	case "simulate":
 		return simulate(cfg, out)
 	case "capacity":
+		if cfg.addr != "" {
+			return remoteCapacity(cfg, out)
+		}
 		return capacity(cfg, out)
+	case "admit":
+		if cfg.addr == "" {
+			return fmt.Errorf("admit needs -addr: it admits streams on a running qosd")
+		}
+		return remoteAdmit(cfg, out)
 	case "chaos":
 		return chaos(cfg, out)
 	default:

@@ -2,10 +2,13 @@ package main
 
 import (
 	"bytes"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/qosd"
 )
 
 const model = `
@@ -248,5 +251,50 @@ func TestCLIChaosRejectsBadFlags(t *testing.T) {
 		if code != 1 {
 			t.Errorf("args %v: exit %d, want 1 (stderr %q)", args, code, errOut)
 		}
+	}
+}
+
+// TestCLIRemoteCapacityAndAdmit drives the -addr remote mode against an
+// in-process qosd and checks both subcommands speak the wire protocol.
+func TestCLIRemoteCapacityAndAdmit(t *testing.T) {
+	path := modelFile(t)
+	d, err := qosd.New(qosd.Config{
+		Models: []qosd.ModelFile{{Name: "m", Path: path}},
+		Budget: 100, // fits two MinNeed-40 streams
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(d.Handler())
+	defer func() { srv.Close(); d.Drain() }()
+	addr := strings.TrimPrefix(srv.URL, "http://")
+
+	code, out, errOut := cli(t, "-addr", addr, "capacity")
+	if code != 0 {
+		t.Fatalf("remote capacity: exit %d stderr %q", code, errOut)
+	}
+	if !strings.Contains(out, "model: m") || !strings.Contains(out, "headroom for 2 more") {
+		t.Fatalf("remote capacity output: %q", out)
+	}
+
+	// -model selects the registry name from the file's base name.
+	code, out, errOut = cli(t, "-addr", addr, "-model", path, "admit", "-streams", "2")
+	if code != 0 {
+		t.Fatalf("remote admit: exit %d stderr %q", code, errOut)
+	}
+	if strings.Count(out, "admitted stream") != 2 {
+		t.Fatalf("remote admit output: %q", out)
+	}
+
+	// Over capacity: the daemon sheds, the CLI surfaces the 429.
+	code, _, errOut = cli(t, "-addr", addr, "admit", "-streams", "1")
+	if code != 1 || !strings.Contains(errOut, "429") {
+		t.Fatalf("over-capacity remote admit: exit %d stderr %q", code, errOut)
+	}
+
+	// admit without -addr is a usage-level error.
+	code, _, errOut = cli(t, "-model", path, "admit")
+	if code != 1 || !strings.Contains(errOut, "-addr") {
+		t.Fatalf("local admit: exit %d stderr %q", code, errOut)
 	}
 }

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/qosd/api"
+)
+
+// remoteModelName maps the -model path to the daemon's registry key:
+// the base filename without the .qos extension (matching cmd/qosd).
+// Empty stays empty — the daemon resolves it when it serves one model.
+func remoteModelName(path string) string {
+	if path == "" {
+		return ""
+	}
+	return strings.TrimSuffix(filepath.Base(path), ".qos")
+}
+
+func qosdClient() *http.Client {
+	return &http.Client{Timeout: 10 * time.Second}
+}
+
+// qosdURL normalizes -addr into a base URL.
+func qosdURL(addr, path string) string {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return strings.TrimSuffix(addr, "/") + path
+}
+
+// decodeOrError decodes a 2xx body into v, or surfaces the daemon's
+// ErrorResponse as an error.
+func decodeOrError(resp *http.Response, v any) error {
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var e api.ErrorResponse
+		if err := json.NewDecoder(resp.Body).Decode(&e); err == nil && e.Error != "" {
+			if e.RetryAfter > 0 {
+				return fmt.Errorf("qosd: %s (HTTP %d, retry after %ds)", e.Error, resp.StatusCode, e.RetryAfter)
+			}
+			return fmt.Errorf("qosd: %s (HTTP %d)", e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("qosd: HTTP %d", resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// remoteCapacity asks a running qosd for its admission headroom.
+func remoteCapacity(cfg cliConfig, out io.Writer) error {
+	url := qosdURL(cfg.addr, "/v1/capacity")
+	if name := remoteModelName(cfg.modelPath); name != "" {
+		url += "?model=" + name
+	}
+	resp, err := qosdClient().Get(url)
+	if err != nil {
+		return err
+	}
+	var cr api.CapacityResponse
+	if err := decodeOrError(resp, &cr); err != nil {
+		return err
+	}
+	for _, m := range cr.Models {
+		fmt.Fprintf(out, "model: %s (mode=%s policy=%s)\n", m.Model, m.Mode, m.Policy)
+		fmt.Fprintf(out, "per-stream: nominal=%d min-need(qmin)=%d full-need(qmax)=%d actions=%d\n",
+			m.Spec.Nominal, m.Spec.MinNeed, m.Spec.FullNeed, m.Spec.Actions)
+		fmt.Fprintf(out, "budget: total=%d committed=%d granted=%d slack=%d\n",
+			m.Total, m.Committed, m.Granted, m.Slack)
+		fmt.Fprintf(out, "capacity: %d streams admitted, headroom for %d more\n", m.Streams, m.Headroom)
+		if m.Degraded || m.SoftDemoted > 0 || m.Revoked > 0 {
+			fmt.Fprintf(out, "pressure: degraded=%v soft-demoted=%d revoked=%d\n",
+				m.Degraded, m.SoftDemoted, m.Revoked)
+		}
+	}
+	return nil
+}
+
+// remoteAdmit admits -streams streams on a running qosd and prints the
+// stream handles for subsequent decide/release calls.
+func remoteAdmit(cfg cliConfig, out io.Writer) error {
+	req := api.AdmitRequest{
+		Model:   remoteModelName(cfg.modelPath),
+		Streams: cfg.streams,
+		Soft:    cfg.soft,
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	resp, err := qosdClient().Post(qosdURL(cfg.addr, "/v1/admit"), "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	var ar api.AdmitResponse
+	if err := decodeOrError(resp, &ar); err != nil {
+		return err
+	}
+	for _, s := range ar.Streams {
+		fmt.Fprintf(out, "admitted stream %d: model=%s share=%d (min-need=%d full-need=%d actions=%d)\n",
+			s.ID, s.Model, s.Share, s.MinNeed, s.FullNeed, s.Actions)
+	}
+	return nil
+}

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a goroutine-safe bytes.Buffer: realMain writes from the
+// serving goroutine while the test polls for the listen line.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var listenLine = regexp.MustCompile(`listening on (\S+)`)
+
+// TestQosdMainServesAndDrains boots the real binary entry point on a
+// free port, drives one admit→decide→release round trip over HTTP, and
+// shuts it down through the signal context — the full daemon lifecycle.
+func TestQosdMainServesAndDrains(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var stdout, stderr syncBuffer
+	done := make(chan int, 1)
+	go func() {
+		done <- realMain(ctx, []string{
+			"-addr", "127.0.0.1:0",
+			"-model", "../../examples/models/mpeg_body.qos",
+			"-epoch", "50ms",
+		}, &stdout, &stderr)
+	}()
+
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never announced its address\nstdout: %s\nstderr: %s", stdout.String(), stderr.String())
+		}
+		if m := listenLine.FindStringSubmatch(stdout.String()); m != nil {
+			addr = m[1]
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	base := "http://" + addr
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: HTTP %d", resp.StatusCode)
+	}
+
+	// Round trip against the named model ("mpeg_body" from the path).
+	resp, err = http.Post(base+"/v1/admit", "application/json",
+		strings.NewReader(`{"model":"mpeg_body"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var admitBody bytes.Buffer
+	admitBody.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("admit: HTTP %d: %s", resp.StatusCode, admitBody.String())
+	}
+	idMatch := regexp.MustCompile(`"id":(\d+)`).FindStringSubmatch(admitBody.String())
+	if idMatch == nil {
+		t.Fatalf("admit response without stream id: %s", admitBody.String())
+	}
+
+	resp, err = http.Post(base+"/v1/decide", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"items":[{"stream":%s,"load":0.5}]}`, idMatch[1])))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decideBody bytes.Buffer
+	decideBody.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(decideBody.String(), `"code":200`) {
+		t.Fatalf("decide: HTTP %d: %s", resp.StatusCode, decideBody.String())
+	}
+	if !strings.Contains(decideBody.String(), `"misses":0`) {
+		t.Fatalf("decide missed deadlines: %s", decideBody.String())
+	}
+
+	resp, err = http.Post(base+"/v1/release", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"stream":%s}`, idMatch[1])))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("release: HTTP %d", resp.StatusCode)
+	}
+
+	// Signal-context shutdown drains and exits 0.
+	cancel()
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("exit code %d\nstderr: %s", code, stderr.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down on context cancellation")
+	}
+	if out := stdout.String(); !strings.Contains(out, "drained") {
+		t.Fatalf("shutdown did not drain: %s", out)
+	}
+}
+
+func TestQosdMainUsageErrors(t *testing.T) {
+	var stdout, stderr syncBuffer
+	if code := realMain(context.Background(), nil, &stdout, &stderr); code != 2 {
+		t.Fatalf("no -model: exit %d", code)
+	}
+	if code := realMain(context.Background(), []string{"-model", "x.qos", "-policy", "bogus"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("bogus policy: exit %d", code)
+	}
+	if code := realMain(context.Background(), []string{"-model", "does-not-exist.qos"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("missing model: exit %d", code)
+	}
+}

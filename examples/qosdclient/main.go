@@ -1,0 +1,142 @@
+// A complete qosd client using nothing but the standard library — the
+// wire protocol is plain HTTP+JSON, so a client in any language looks
+// like this. It admits a fleet of streams on a running daemon, drives
+// each through a few controlled cycles (reporting the quality levels
+// the controller chose and checking the zero-miss contract), and
+// releases them.
+//
+// Start the daemon first, then run the client:
+//
+//	go run ./cmd/qosd -model examples/models/mpeg_body.qos
+//	go run ./examples/qosdclient -addr 127.0.0.1:9150 -streams 4 -cycles 8
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+)
+
+// The subset of the wire types this client touches (field-compatible
+// with internal/qosd/api; a third-party client declares its own just
+// like this).
+type (
+	admitRequest struct {
+		Model   string `json:"model,omitempty"`
+		Streams int    `json:"streams,omitempty"`
+	}
+	streamInfo struct {
+		ID      uint64 `json:"id"`
+		Model   string `json:"model"`
+		Share   int64  `json:"share"`
+		Actions int    `json:"actions"`
+	}
+	admitResponse struct {
+		Streams []streamInfo `json:"streams"`
+	}
+	decideItem struct {
+		Stream uint64  `json:"stream"`
+		Load   float64 `json:"load,omitempty"`
+	}
+	decideRequest struct {
+		Items []decideItem `json:"items"`
+	}
+	decideResult struct {
+		Stream    uint64  `json:"stream"`
+		Code      int     `json:"code"`
+		Error     string  `json:"error,omitempty"`
+		Levels    []int   `json:"levels,omitempty"`
+		Elapsed   int64   `json:"elapsed"`
+		Misses    int     `json:"misses"`
+		MeanLevel float64 `json:"mean_level"`
+	}
+	decideResponse struct {
+		Results []decideResult `json:"results"`
+	}
+	errorResponse struct {
+		Error      string `json:"error"`
+		RetryAfter int    `json:"retry_after,omitempty"`
+	}
+)
+
+func post(base, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e errorResponse
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			if e.RetryAfter > 0 {
+				return fmt.Errorf("%s: %s (HTTP %d, retry after %ds)", path, e.Error, resp.StatusCode, e.RetryAfter)
+			}
+			return fmt.Errorf("%s: %s (HTTP %d)", path, e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("%s: HTTP %d", path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9150", "qosd address")
+	model := flag.String("model", "", "model name (optional when the daemon serves one model)")
+	streams := flag.Int("streams", 4, "streams to admit")
+	cycles := flag.Int("cycles", 8, "controlled cycles per stream")
+	load := flag.Float64("load", 0.6, "synthetic load in [0,1] between average and worst case")
+	flag.Parse()
+	base := "http://" + *addr
+
+	// Admit the whole fleet in one batch: all-or-nothing, so a 429
+	// here means the budget cannot carry it and nothing was reserved.
+	var admitted admitResponse
+	if err := post(base, "/v1/admit", admitRequest{Model: *model, Streams: *streams}, &admitted); err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range admitted.Streams {
+		fmt.Printf("admitted stream %d: model=%s share=%d cycles/period\n", s.ID, s.Model, s.Share)
+	}
+
+	// Drive every stream one cycle per batch. The daemon returns the
+	// quality level the controller chose for each schedule step — the
+	// plan the application would execute.
+	req := decideRequest{}
+	for _, s := range admitted.Streams {
+		req.Items = append(req.Items, decideItem{Stream: s.ID, Load: *load})
+	}
+	misses := 0
+	for c := 0; c < *cycles; c++ {
+		var dr decideResponse
+		if err := post(base, "/v1/decide", req, &dr); err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range dr.Results {
+			if r.Code != http.StatusOK {
+				log.Fatalf("stream %d: code %d: %s", r.Stream, r.Code, r.Error)
+			}
+			misses += r.Misses
+			if c == 0 {
+				fmt.Printf("stream %d cycle 0: mean level %.2f over %d steps, elapsed %d\n",
+					r.Stream, r.MeanLevel, len(r.Levels), r.Elapsed)
+			}
+		}
+	}
+	fmt.Printf("%d streams × %d cycles served, %d deadline misses\n", *streams, *cycles, misses)
+
+	for _, s := range admitted.Streams {
+		if err := post(base, "/v1/release", map[string]uint64{"stream": s.ID}, nil); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("released all streams")
+}

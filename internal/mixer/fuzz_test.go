@@ -58,9 +58,11 @@ func FuzzMixerLifecycle(f *testing.F) {
 				// must be refused without corrupting state.
 				_ = b.SetTotal(core.Cycles(20 * (arg + 1)))
 			case 6:
-				// A dead ctx makes AdmitWait a single deterministic try.
+				// A dead ctx is a deterministic refusal: AdmitWait must
+				// report the cancellation without handing out a grant,
+				// however much capacity is free.
 				if g, err := b.AdmitWait(deadCtx, hard); err == nil {
-					grants = append(grants, g)
+					t.Fatalf("op %d: AdmitWait admitted %v under a dead ctx", pc/2, g.Spec())
 				}
 			}
 			st := b.Stats()

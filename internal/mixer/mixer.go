@@ -275,10 +275,21 @@ func (b *Budget) Admit(spec StreamSpec) (*Grant, error) {
 // retries until the admission fits or ctx expires. Errors other than
 // ErrBudgetExhausted (an invalid spec) return immediately; a ctx
 // cancellation/deadline returns ctx.Err().
+//
+// Cancellation is checked before every admission attempt: once ctx is
+// done AdmitWait never hands out a grant and never sleeps another
+// backoff. Without that check a waiter woken by a capacity event that
+// raced the cancellation (the select picks among ready cases at random,
+// and a just-closed capacity channel stays ready) could loop — admit,
+// re-arm, back off — arbitrarily long under an admission storm, or
+// worse, return a grant its caller no longer wants and would leak.
 func (b *Budget) AdmitWait(ctx context.Context, spec StreamSpec) (*Grant, error) {
 	backoff := time.Millisecond
 	const maxBackoff = 50 * time.Millisecond
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		g, err := b.Admit(spec)
 		if err == nil {
 			return g, nil

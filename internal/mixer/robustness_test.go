@@ -6,6 +6,7 @@ package mixer
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -289,11 +290,76 @@ func TestAdmitWaitContext(t *testing.T) {
 		t.Fatalf("invalid spec: %v", err)
 	}
 	// With capacity available AdmitWait is just Admit: the first try
-	// wins even under a dead ctx.
+	// wins.
 	g0.Release()
-	g, err := b.AdmitWait(ctx, softSpec())
+	g, err := b.AdmitWait(context.Background(), softSpec())
 	if err != nil {
 		t.Fatalf("AdmitWait with free capacity: %v", err)
 	}
+	// A canceled ctx refuses even with capacity free: a caller that has
+	// given up must never be handed a grant it would only leak.
+	if _, err := b.AdmitWait(ctx, softSpec()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled AdmitWait with free capacity: %v", err)
+	}
 	g.Release()
+}
+
+// TestAdmitWaitCancellationDuringStorm reproduces the lost-wakeup path:
+// waiters queued on a full budget whose ctx is canceled while capacity
+// events keep firing. The closed capacity channel a waiter holds stays
+// ready forever, so before the top-of-loop cancellation check a woken
+// waiter could keep re-trying (and re-sleeping its backoff) instead of
+// honoring the cancellation — or admit a grant nobody would release.
+// Every waiter must return ctx's error promptly and no capacity may
+// leak.
+func TestAdmitWaitCancellationDuringStorm(t *testing.T) {
+	b := mustBudget(t, 20, Fair) // room for exactly 1
+	g0, err := b.Admit(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	const waiters = 8
+	done := make(chan error, waiters)
+	for i := 0; i < waiters; i++ {
+		go func() {
+			g, err := b.AdmitWait(ctx, testSpec())
+			if g != nil {
+				err = fmt.Errorf("admitted a grant under a canceled ctx")
+			}
+			done <- err
+		}()
+	}
+	// Let the waiters reach their select, then cancel and storm: each
+	// admit/release pair closes a capacity channel some waiter holds.
+	time.Sleep(2 * time.Millisecond)
+	cancel()
+	storm := make(chan struct{})
+	go func() {
+		defer close(storm)
+		for i := 0; i < 200; i++ {
+			g0.Release()
+			g, err := b.Admit(testSpec())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			g0 = g
+		}
+	}()
+	for i := 0; i < waiters; i++ {
+		select {
+		case err := <-done:
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("waiter %d: %v", i, err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("waiter %d still honoring backoff after cancellation", i)
+		}
+	}
+	<-storm
+	g0.Release()
+	if st := b.Stats(); st.Streams != 0 || st.Committed != 0 {
+		t.Fatalf("capacity leaked to canceled waiters: %+v", st)
+	}
 }

@@ -147,7 +147,9 @@ func RunStreams(cfgs []Config, shared *mixer.Budget) ([]*Result, error) {
 // releases, revocations and budget growth, bounded by ctx) instead of
 // failing immediately, so a burst of arrivals degrades into admission
 // latency rather than rejections. A stream still waiting when ctx
-// expires fails with ctx's error while its siblings proceed.
+// expires fails with ctx's error while its admitted siblings proceed;
+// once ctx is done no further stream is admitted at all, however much
+// capacity is free.
 func RunStreamsCtx(ctx context.Context, cfgs []Config, shared *mixer.Budget) ([]*Result, error) {
 	return runStreams(cfgs, shared, func(spec mixer.StreamSpec) (*mixer.Grant, error) {
 		return shared.AdmitWait(ctx, spec)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"testing"
+	"time"
 
 	"repro/internal/mixer"
 	"repro/internal/sched"
@@ -83,8 +84,9 @@ func TestRunStreamsCtxQueuedAdmission(t *testing.T) {
 		t.Fatal("queued admission lost a stream")
 	}
 
-	// Budget fits one: the second waits until ctx expires, the first
-	// proceeds untouched.
+	// A pre-canceled ctx admits nothing at all — AdmitWait refuses a
+	// dead ctx even with capacity free, so every slot fails fast with
+	// the cancellation instead of some streams sneaking in.
 	tight, err := mixer.New(spec.MinNeed.AddSat(spec.MinNeed/2), mixer.Fair)
 	if err != nil {
 		t.Fatal(err)
@@ -95,13 +97,77 @@ func TestRunStreamsCtxQueuedAdmission(t *testing.T) {
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("over-capacity Ctx admission: %v", err)
 	}
-	if results[0] == nil {
-		t.Fatal("admitted stream did not run")
-	}
-	if results[1] != nil {
-		t.Fatal("unadmitted stream produced a result")
+	if results[0] != nil || results[1] != nil {
+		t.Fatal("canceled run produced a result")
 	}
 	if st := tight.Stats(); st.Streams != 0 || st.Committed != 0 {
 		t.Fatalf("budget not drained: %+v", st)
+	}
+}
+
+// TestRunStreamsCtxCanceledMidQueue is the admission-storm regression
+// for the lost-wakeup path: a fleet larger than the budget queues on
+// AdmitWait while grants churn, and ctx is canceled mid-queue. The run
+// must return promptly — no waiter may keep honoring its backoff loop
+// after the cancellation — with every unadmitted slot failing as
+// context.Canceled and all capacity back in the pool.
+func TestRunStreamsCtxCanceledMidQueue(t *testing.T) {
+	src := smallSource(t)
+	cfg := Config{Source: src, K: 1, Controlled: true, Seed: 5}
+	enc, err := buildEncoder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := streamSpec(cfg, enc)
+
+	// Room for one stream: the rest of the fleet queues.
+	tight, err := mixer.New(spec.MinNeed.AddSat(spec.MinNeed/2), mixer.Fair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cfgs := []Config{cfg, cfg, cfg, cfg, cfg, cfg}
+	type outcome struct {
+		results []*Result
+		err     error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		results, err := RunStreamsCtx(ctx, cfgs, tight)
+		done <- outcome{results, err}
+	}()
+	// Let the queue form, cancel mid-queue, then storm the capacity
+	// signal: every churned grant closes a capacity channel some waiter
+	// holds, the exact wakeup that used to outrun the cancellation.
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	for i := 0; i < 50; i++ {
+		if g, err := tight.Admit(mixer.StreamSpec{Nominal: 1, MinNeed: 1, FullNeed: 1}); err == nil {
+			g.Release() // each release closes a waiter's capacity channel
+		}
+	}
+	var out outcome
+	select {
+	case out = <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("RunStreamsCtx still queued long after cancellation")
+	}
+	if !errors.Is(out.err, context.Canceled) {
+		t.Fatalf("joined error %v does not wrap context.Canceled", out.err)
+	}
+	ran := 0
+	for _, r := range out.results {
+		if r != nil {
+			ran++
+		}
+	}
+	// At most the streams admitted before the cancellation ran; the
+	// budget fits one at a time, so at least the tail of the queue must
+	// have been refused.
+	if ran >= len(cfgs) {
+		t.Fatalf("all %d streams ran despite mid-queue cancellation", ran)
+	}
+	if st := tight.Stats(); st.Streams != 0 || st.Committed != 0 {
+		t.Fatalf("capacity leaked after canceled run: %+v", st)
 	}
 }

@@ -1,0 +1,158 @@
+package qosd
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets are the per-endpoint request-duration histogram bounds
+// in seconds, log-spaced from 50µs to 1s — decide batches sit at the
+// bottom, admission waits under load at the top. Durations beyond the
+// last bound land in the +Inf bucket.
+var latencyBuckets = []float64{
+	0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025,
+	0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1,
+}
+
+// trackedCodes are the response codes counted per endpoint; anything
+// else folds into codeOther.
+var trackedCodes = []int{200, 400, 404, 405, 410, 422, 429, 500, 503}
+
+const codeOther = 0
+
+// endpointMetrics accumulates one endpoint's request counts and latency
+// histogram. All fields are atomics: the serving path never locks to
+// record a sample, and /metrics reads whatever is current.
+type endpointMetrics struct {
+	name    string
+	codes   map[int]*atomic.Int64 // fixed key set after construction
+	buckets []atomic.Int64        // len(latencyBuckets)+1, last is +Inf
+	sumNs   atomic.Int64
+	count   atomic.Int64
+}
+
+func newEndpointMetrics(name string) *endpointMetrics {
+	m := &endpointMetrics{
+		name:    name,
+		codes:   make(map[int]*atomic.Int64, len(trackedCodes)+1),
+		buckets: make([]atomic.Int64, len(latencyBuckets)+1),
+	}
+	for _, c := range trackedCodes {
+		m.codes[c] = new(atomic.Int64)
+	}
+	m.codes[codeOther] = new(atomic.Int64)
+	return m
+}
+
+// observe records one served request.
+func (m *endpointMetrics) observe(code int, d time.Duration) {
+	c, ok := m.codes[code]
+	if !ok {
+		c = m.codes[codeOther]
+	}
+	c.Add(1)
+	secs := d.Seconds()
+	i := sort.SearchFloat64s(latencyBuckets, secs)
+	m.buckets[i].Add(1)
+	m.sumNs.Add(d.Nanoseconds())
+	m.count.Add(1)
+}
+
+// write renders the endpoint's series in Prometheus text format.
+func (m *endpointMetrics) write(w io.Writer) {
+	for _, code := range trackedCodes {
+		if n := m.codes[code].Load(); n > 0 {
+			fmt.Fprintf(w, "qosd_http_requests_total{endpoint=%q,code=\"%d\"} %d\n", m.name, code, n)
+		}
+	}
+	if n := m.codes[codeOther].Load(); n > 0 {
+		fmt.Fprintf(w, "qosd_http_requests_total{endpoint=%q,code=\"other\"} %d\n", m.name, n)
+	}
+	cum := int64(0)
+	for i, bound := range latencyBuckets {
+		cum += m.buckets[i].Load()
+		fmt.Fprintf(w, "qosd_http_request_duration_seconds_bucket{endpoint=%q,le=\"%g\"} %d\n", m.name, bound, cum)
+	}
+	cum += m.buckets[len(latencyBuckets)].Load()
+	fmt.Fprintf(w, "qosd_http_request_duration_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", m.name, cum)
+	fmt.Fprintf(w, "qosd_http_request_duration_seconds_sum{endpoint=%q} %g\n", m.name, float64(m.sumNs.Load())/1e9)
+	fmt.Fprintf(w, "qosd_http_request_duration_seconds_count{endpoint=%q} %d\n", m.name, m.count.Load())
+}
+
+// ctrlStats aggregates ControllerStats across every cycle the daemon
+// serves for one model. The per-cycle deltas are folded in after each
+// decide (the controller's own counters reset with the session), so the
+// totals survive stream churn.
+type ctrlStats struct {
+	decisions     atomic.Int64
+	fallbacks     atomic.Int64
+	levelSum      atomic.Int64
+	levelChanges  atomic.Int64
+	candidateEval atomic.Int64
+}
+
+// handleMetrics renders the whole daemon in Prometheus text format:
+// process gauges, per-model runtime / mixer / controller aggregates,
+// and per-endpoint HTTP counters and latency histograms.
+func (d *Daemon) handleMetrics(w http.ResponseWriter, r *http.Request) int {
+	if r.Method != http.MethodGet {
+		return writeError(w, http.StatusMethodNotAllowed, "GET required", 0)
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+
+	fmt.Fprintf(w, "# HELP qosd_uptime_seconds Seconds since the daemon started.\n")
+	fmt.Fprintf(w, "# TYPE qosd_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "qosd_uptime_seconds %g\n", time.Since(d.start).Seconds())
+	draining := 0
+	if d.draining.Load() {
+		draining = 1
+	}
+	fmt.Fprintf(w, "# TYPE qosd_draining gauge\nqosd_draining %d\n", draining)
+	d.mu.Lock()
+	active := len(d.streams)
+	d.mu.Unlock()
+	fmt.Fprintf(w, "# HELP qosd_streams_active Streams currently admitted.\n")
+	fmt.Fprintf(w, "# TYPE qosd_streams_active gauge\nqosd_streams_active %d\n", active)
+
+	for _, name := range d.order {
+		m := d.models[name]
+		rs := m.rt.Stats()
+		fmt.Fprintf(w, "qosd_model_sessions_active{model=%q} %d\n", name, rs.ActiveSessions)
+		fmt.Fprintf(w, "qosd_model_cycles_total{model=%q} %d\n", name, rs.Cycles)
+		fmt.Fprintf(w, "qosd_model_actions_total{model=%q} %d\n", name, rs.Actions)
+		fmt.Fprintf(w, "qosd_model_misses_total{model=%q} %d\n", name, rs.Misses)
+		fmt.Fprintf(w, "qosd_model_cycle_fallbacks_total{model=%q} %d\n", name, rs.Fallbacks)
+		fmt.Fprintf(w, "qosd_model_quarantined_total{model=%q} %d\n", name, rs.Quarantined)
+
+		bs := m.budget.Stats()
+		fmt.Fprintf(w, "qosd_budget_total_cycles{model=%q} %d\n", name, int64(bs.Total))
+		fmt.Fprintf(w, "qosd_budget_committed_cycles{model=%q} %d\n", name, int64(bs.Committed))
+		fmt.Fprintf(w, "qosd_budget_granted_cycles{model=%q} %d\n", name, int64(bs.Granted))
+		fmt.Fprintf(w, "qosd_budget_slack_cycles{model=%q} %d\n", name, int64(bs.Slack))
+		fmt.Fprintf(w, "qosd_budget_hard_committed_cycles{model=%q} %d\n", name, int64(bs.HardCommitted))
+		fmt.Fprintf(w, "qosd_budget_streams{model=%q} %d\n", name, bs.Streams)
+		degraded := 0
+		if bs.Degraded {
+			degraded = 1
+		}
+		fmt.Fprintf(w, "qosd_budget_degraded{model=%q} %d\n", name, degraded)
+		fmt.Fprintf(w, "qosd_budget_soft_demoted{model=%q} %d\n", name, bs.SoftDemoted)
+		fmt.Fprintf(w, "qosd_budget_revoked_total{model=%q} %d\n", name, bs.Revoked)
+		fmt.Fprintf(w, "qosd_budget_headroom_streams{model=%q} %d\n", name, m.budget.Headroom(m.spec))
+
+		fmt.Fprintf(w, "qosd_controller_decisions_total{model=%q} %d\n", name, m.ctrl.decisions.Load())
+		fmt.Fprintf(w, "qosd_controller_fallbacks_total{model=%q} %d\n", name, m.ctrl.fallbacks.Load())
+		fmt.Fprintf(w, "qosd_controller_level_sum_total{model=%q} %d\n", name, m.ctrl.levelSum.Load())
+		fmt.Fprintf(w, "qosd_controller_level_changes_total{model=%q} %d\n", name, m.ctrl.levelChanges.Load())
+		fmt.Fprintf(w, "qosd_controller_candidate_evals_total{model=%q} %d\n", name, m.ctrl.candidateEval.Load())
+	}
+
+	for _, em := range []*endpointMetrics{d.mAdmit, d.mRelease, d.mDecide, d.mCapacity, d.mHealth, d.mMetrics} {
+		em.write(w)
+	}
+	return http.StatusOK
+}

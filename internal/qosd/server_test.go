@@ -1,0 +1,460 @@
+package qosd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/qosd/api"
+)
+
+// testModel is a two-action chain whose qmin worst case is 40 cycles
+// against a 100-cycle deadline: MinNeed 40, FullNeed 70, Nominal 100.
+const testModel = `
+levels 0 1
+action a
+action b
+edge a b
+time a * 10 20
+time b 0 10 20
+time b 1 30 50
+deadline b * 100
+`
+
+func writeTestModel(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "chain.qos")
+	if err := os.WriteFile(path, []byte(testModel), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// newTestDaemon boots a daemon over the tiny chain model with a budget
+// that admits exactly two hard streams (2 × MinNeed 40 ≤ 100 < 120).
+func newTestDaemon(t *testing.T, mod func(*Config)) (*Daemon, *httptest.Server) {
+	t.Helper()
+	cfg := Config{
+		Models:       []ModelFile{{Name: "chain", Path: writeTestModel(t)}},
+		Budget:       100,
+		AdmitTimeout: 50 * time.Millisecond,
+	}
+	if mod != nil {
+		mod(&cfg)
+	}
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(d.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		d.Drain()
+	})
+	return d, srv
+}
+
+// postJSON posts v and decodes the response into out (when non-nil),
+// returning the status code and headers.
+func postJSON(t *testing.T, url string, v, out any) (int, http.Header) {
+	t.Helper()
+	body, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s response: %v", url, err)
+		}
+	}
+	return resp.StatusCode, resp.Header
+}
+
+func admitN(t *testing.T, srv *httptest.Server, n int) []api.StreamInfo {
+	t.Helper()
+	var ar api.AdmitResponse
+	code, _ := postJSON(t, srv.URL+"/v1/admit", api.AdmitRequest{Streams: n}, &ar)
+	if code != http.StatusOK {
+		t.Fatalf("admit %d: HTTP %d", n, code)
+	}
+	if len(ar.Streams) != n {
+		t.Fatalf("admit %d: got %d streams", n, len(ar.Streams))
+	}
+	return ar.Streams
+}
+
+func TestQosdAdmitDecideRelease(t *testing.T) {
+	_, srv := newTestDaemon(t, nil)
+	streams := admitN(t, srv, 2)
+	for _, s := range streams {
+		if s.Model != "chain" || s.MinNeed != 40 || s.FullNeed < s.MinNeed || s.Actions != 2 {
+			t.Fatalf("stream info: %+v", s)
+		}
+		if s.Share < s.MinNeed {
+			t.Fatalf("share %d below min need", s.Share)
+		}
+	}
+
+	// A batch mixing synthetic load and explicit costs; every admitted
+	// hard stream must clear its cycle without a deadline miss.
+	var dr api.DecideResponse
+	code, _ := postJSON(t, srv.URL+"/v1/decide", api.DecideRequest{Items: []api.DecideItem{
+		{Stream: streams[0].ID, Load: 1},
+		{Stream: streams[1].ID, Costs: []int64{20, 20}},
+	}}, &dr)
+	if code != http.StatusOK {
+		t.Fatalf("decide: HTTP %d", code)
+	}
+	if len(dr.Results) != 2 {
+		t.Fatalf("decide: %d results", len(dr.Results))
+	}
+	for i, r := range dr.Results {
+		if r.Code != api.DecideOK {
+			t.Fatalf("item %d: code %d (%s)", i, r.Code, r.Error)
+		}
+		if r.Misses != 0 {
+			t.Fatalf("item %d: %d deadline misses on an admitted hard stream", i, r.Misses)
+		}
+		if len(r.Levels) != 2 {
+			t.Fatalf("item %d: %d per-step levels, schedule has 2", i, len(r.Levels))
+		}
+		if r.Elapsed <= 0 {
+			t.Fatalf("item %d: elapsed %d", i, r.Elapsed)
+		}
+	}
+
+	var rr api.ReleaseResponse
+	code, _ = postJSON(t, srv.URL+"/v1/release", api.ReleaseRequest{Stream: streams[0].ID}, &rr)
+	if code != http.StatusOK || !rr.Released {
+		t.Fatalf("release: HTTP %d %+v", code, rr)
+	}
+	// Double release: the stream is gone.
+	code, _ = postJSON(t, srv.URL+"/v1/release", api.ReleaseRequest{Stream: streams[0].ID}, nil)
+	if code != http.StatusNotFound {
+		t.Fatalf("double release: HTTP %d", code)
+	}
+	// Its share is back: a third stream admits now.
+	admitN(t, srv, 1)
+}
+
+func TestQosdMalformedRequests(t *testing.T) {
+	_, srv := newTestDaemon(t, nil)
+	for _, ep := range []string{"/v1/admit", "/v1/release", "/v1/decide"} {
+		resp, err := http.Post(srv.URL+ep, "application/json", strings.NewReader("{not json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s with garbage body: HTTP %d", ep, resp.StatusCode)
+		}
+		// Wrong method.
+		resp, err = http.Get(srv.URL + ep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("GET %s: HTTP %d", ep, resp.StatusCode)
+		}
+	}
+	// Unknown model.
+	code, _ := postJSON(t, srv.URL+"/v1/admit", api.AdmitRequest{Model: "nope"}, nil)
+	if code != http.StatusNotFound {
+		t.Fatalf("admit unknown model: HTTP %d", code)
+	}
+	// Unknown capacity filter.
+	resp, err := http.Get(srv.URL + "/v1/capacity?model=nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("capacity unknown model: HTTP %d", resp.StatusCode)
+	}
+}
+
+func TestQosdOverCapacityAdmitSheds(t *testing.T) {
+	_, srv := newTestDaemon(t, nil)
+
+	// A batch the budget cannot carry is refused whole: 429 with
+	// Retry-After, and no partial grant survives.
+	var er api.ErrorResponse
+	code, hdr := postJSON(t, srv.URL+"/v1/admit", api.AdmitRequest{Streams: 3}, &er)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("over-capacity admit: HTTP %d", code)
+	}
+	if hdr.Get("Retry-After") == "" || er.RetryAfter < 1 {
+		t.Fatalf("429 without Retry-After: header=%q body=%+v", hdr.Get("Retry-After"), er)
+	}
+	var cr api.CapacityResponse
+	resp, err := http.Get(srv.URL + "/v1/capacity")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if cr.Models[0].Streams != 0 || cr.Models[0].Committed != 0 {
+		t.Fatalf("rolled-back admit leaked capacity: %+v", cr.Models[0])
+	}
+
+	// The budget's actual capacity is untouched: two streams admit,
+	// and only then is a third shed.
+	streams := admitN(t, srv, 2)
+	if code, _ := postJSON(t, srv.URL+"/v1/admit", api.AdmitRequest{}, nil); code != http.StatusTooManyRequests {
+		t.Fatalf("third admit: HTTP %d", code)
+	}
+	// The admitted streams kept their guarantee through the shedding.
+	var dr api.DecideResponse
+	postJSON(t, srv.URL+"/v1/decide", api.DecideRequest{Items: []api.DecideItem{
+		{Stream: streams[0].ID, Load: 1}, {Stream: streams[1].ID, Load: 1},
+	}}, &dr)
+	for _, r := range dr.Results {
+		if r.Code != api.DecideOK || r.Misses != 0 {
+			t.Fatalf("admitted stream degraded during shedding: %+v", r)
+		}
+	}
+}
+
+func TestQosdDecideItemCodes(t *testing.T) {
+	_, srv := newTestDaemon(t, nil)
+	st := admitN(t, srv, 1)[0]
+
+	var dr api.DecideResponse
+	code, _ := postJSON(t, srv.URL+"/v1/decide", api.DecideRequest{Items: []api.DecideItem{
+		{Stream: 999},                            // unknown
+		{Stream: st.ID, Costs: []int64{1, 2, 3}}, // wrong length
+		{Stream: st.ID, Costs: []int64{-1, 5}},   // negative
+		{Stream: st.ID, Costs: []int64{20, 20}},  // fine
+	}}, &dr)
+	if code != http.StatusOK {
+		t.Fatalf("decide: HTTP %d", code)
+	}
+	want := []int{api.DecideUnknown, api.DecideBadCosts, api.DecideBadCosts, api.DecideOK}
+	for i, r := range dr.Results {
+		if r.Code != want[i] {
+			t.Fatalf("item %d: code %d, want %d (%s)", i, r.Code, want[i], r.Error)
+		}
+	}
+}
+
+// TestQosdLeaseRevocation: a client that admits and then goes silent is
+// reaped — its next decide gets 410, its share returns to the pool, and
+// the stream vanishes from the registry.
+func TestQosdLeaseRevocation(t *testing.T) {
+	d, srv := newTestDaemon(t, func(c *Config) {
+		c.LeaseEpochs = 1
+		c.EpochInterval = 5 * time.Millisecond
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go d.Reaper(ctx)
+
+	silent := admitN(t, srv, 2)
+	// Silence outlasts the lease: epoch 5ms × (1+1 margin) ≪ 100ms.
+	time.Sleep(100 * time.Millisecond)
+
+	var dr api.DecideResponse
+	postJSON(t, srv.URL+"/v1/decide", api.DecideRequest{Items: []api.DecideItem{
+		{Stream: silent[0].ID}, {Stream: silent[1].ID},
+	}}, &dr)
+	for i, r := range dr.Results {
+		if r.Code != api.DecideRevoked {
+			t.Fatalf("silent stream %d: code %d (%s), want 410", i, r.Code, r.Error)
+		}
+	}
+	// Gone from the registry: a retry is 404, not 410.
+	postJSON(t, srv.URL+"/v1/decide", api.DecideRequest{Items: []api.DecideItem{{Stream: silent[0].ID}}}, &dr)
+	if dr.Results[0].Code != api.DecideUnknown {
+		t.Fatalf("revoked stream still registered: code %d", dr.Results[0].Code)
+	}
+	// The reclaimed shares admit a fresh client immediately.
+	admitN(t, srv, 2)
+
+	var cr api.CapacityResponse
+	resp, err := http.Get(srv.URL + "/v1/capacity")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if cr.Models[0].Revoked < 2 {
+		t.Fatalf("revocations not counted: %+v", cr.Models[0])
+	}
+}
+
+// TestQosdMetricsParse drives some traffic and checks every /metrics
+// line is well-formed Prometheus text ("name value", "name{labels}
+// value", or a # comment) and the load-bearing series are present.
+func TestQosdMetricsParse(t *testing.T) {
+	_, srv := newTestDaemon(t, nil)
+	streams := admitN(t, srv, 2)
+	postJSON(t, srv.URL+"/v1/decide", api.DecideRequest{Items: []api.DecideItem{
+		{Stream: streams[0].ID, Load: 0.5}, {Stream: streams[1].ID, Load: 0.5},
+	}}, nil)
+	postJSON(t, srv.URL+"/v1/release", api.ReleaseRequest{Stream: 12345}, nil) // a 404 to count
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: HTTP %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.String()
+	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var name string
+		var value float64
+		// Split the sample into series name (with optional {labels})
+		// and value; labels may contain spaces inside quotes, so split
+		// on the last space.
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("metrics line %q: no value", line)
+		}
+		name, valueStr := line[:i], line[i+1:]
+		if _, err := fmt.Sscanf(valueStr, "%g", &value); err != nil {
+			t.Fatalf("metrics line %q: bad value: %v", line, err)
+		}
+		if open := strings.Count(name, "{"); open != strings.Count(name, "}") || open > 1 {
+			t.Fatalf("metrics line %q: malformed labels", line)
+		}
+	}
+	for _, want := range []string{
+		"qosd_uptime_seconds ",
+		"qosd_streams_active 2",
+		`qosd_model_cycles_total{model="chain"} 2`,
+		`qosd_model_misses_total{model="chain"} 0`,
+		`qosd_budget_streams{model="chain"} 2`,
+		`qosd_controller_decisions_total{model="chain"} 4`,
+		`qosd_http_requests_total{endpoint="admit",code="200"} 1`,
+		`qosd_http_requests_total{endpoint="release",code="404"} 1`,
+		`qosd_http_request_duration_seconds_count{endpoint="decide"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q\n%s", want, body)
+		}
+	}
+}
+
+// TestQosdDrainUnderFire (run with -race) hammers decide from several
+// goroutines while the daemon drains: no decide may race the teardown,
+// every post-drain request is refused, and every grant is back in the
+// pool when Drain returns.
+func TestQosdDrainUnderFire(t *testing.T) {
+	d, srv := newTestDaemon(t, nil)
+	streams := admitN(t, srv, 2)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for _, s := range streams {
+		wg.Add(1)
+		go func(id uint64) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var dr api.DecideResponse
+				code, _ := postJSON(t, srv.URL+"/v1/decide",
+					api.DecideRequest{Items: []api.DecideItem{{Stream: id, Load: 0.5}}}, &dr)
+				if code == http.StatusServiceUnavailable {
+					return // drain won
+				}
+				r := dr.Results[0]
+				switch r.Code {
+				case api.DecideOK:
+					if r.Misses != 0 {
+						t.Errorf("stream %d missed %d deadlines", id, r.Misses)
+						return
+					}
+				case api.DecideUnknown:
+					return // drain released it under us
+				default:
+					t.Errorf("stream %d: unexpected code %d (%s)", id, r.Code, r.Error)
+					return
+				}
+			}
+		}(s.ID)
+	}
+	time.Sleep(10 * time.Millisecond) // let the fire start
+	d.Drain()
+	close(stop)
+	wg.Wait()
+
+	// Post-drain surface: healthz and the mutating endpoints refuse.
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while drained: HTTP %d", resp.StatusCode)
+	}
+	if code, _ := postJSON(t, srv.URL+"/v1/admit", api.AdmitRequest{}, nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("admit while drained: HTTP %d", code)
+	}
+	if code, _ := postJSON(t, srv.URL+"/v1/decide", api.DecideRequest{}, nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("decide while drained: HTTP %d", code)
+	}
+	// Every share is back in the pool.
+	var cr api.CapacityResponse
+	resp, err = http.Get(srv.URL + "/v1/capacity")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if m := cr.Models[0]; m.Streams != 0 || m.Committed != 0 || m.Granted != 0 {
+		t.Fatalf("drain leaked capacity: %+v", m)
+	}
+}
+
+func TestQosdConfigErrors(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("no models accepted")
+	}
+	path := writeTestModel(t)
+	if _, err := New(Config{Models: []ModelFile{{Name: "a", Path: path}, {Name: "a", Path: path}}}); err == nil {
+		t.Fatal("duplicate model name accepted")
+	}
+	if _, err := New(Config{Models: []ModelFile{{Name: "x", Path: filepath.Join(t.TempDir(), "missing.qos")}}}); err == nil {
+		t.Fatal("missing model file accepted")
+	}
+	if _, err := ParsePolicy("bogus"); err == nil {
+		t.Fatal("bogus policy accepted")
+	}
+}

@@ -63,9 +63,9 @@
 // The subpackages used by the benchmark harness (the MPEG-4 encoder
 // model, the synthetic video source, the camera/buffer pipeline) are
 // exposed through the helper functions in harness.go. The previous
-// hand-wiring surface (NewGraphBuilder / NewSystem / NewController)
-// remains available in deprecated.go for one release; see README.md for
-// the migration table.
+// hand-wiring surface (NewGraphBuilder / NewSystem / NewController) has
+// been removed; see README.md for the migration table to SystemBuilder,
+// NewProgram and NewSession.
 package qos
 
 import (

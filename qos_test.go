@@ -9,32 +9,17 @@ import (
 // buildDemoSystem assembles a small system through the public API only.
 func buildDemoSystem(t testing.TB) *qos.System {
 	t.Helper()
-	b := qos.NewGraphBuilder()
-	b.AddAction("in")
-	b.AddAction("work")
-	b.AddAction("out")
-	b.AddEdge("in", "work")
-	b.AddEdge("work", "out")
-	g, err := b.Build()
-	if err != nil {
-		t.Fatal(err)
+	b := qos.NewSystemBuilder().
+		Levels(0, 2).
+		Actions("in", "work", "out").
+		Chain("in", "work", "out").
+		TimeAll("in", 5, 8).
+		TimeAll("out", 5, 8).
+		DeadlineAll("out", 100)
+	for qi := 0; qi <= 2; qi++ {
+		b.Time("work", qos.Level(qi), qos.Cycles(10*(qi+1)), qos.Cycles(20*(qi+1)))
 	}
-	levels := qos.NewLevelRange(0, 2)
-	n := g.Len()
-	cav := qos.NewTimeFamily(levels, n, 0)
-	cwc := qos.NewTimeFamily(levels, n, 0)
-	d := qos.NewTimeFamily(levels, n, qos.Inf)
-	id := func(s string) qos.ActionID { a, _ := g.Lookup(s); return a }
-	for qi, q := range levels {
-		cav.Set(q, id("in"), 5)
-		cwc.Set(q, id("in"), 8)
-		cav.Set(q, id("work"), qos.Cycles(10*(qi+1)))
-		cwc.Set(q, id("work"), qos.Cycles(20*(qi+1)))
-		cav.Set(q, id("out"), 5)
-		cwc.Set(q, id("out"), 8)
-		d.Set(q, id("out"), 100)
-	}
-	sys, err := qos.NewSystem(g, levels, cav, cwc, d)
+	sys, err := b.Build()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,10 +28,11 @@ func buildDemoSystem(t testing.TB) *qos.System {
 
 func TestPublicAPIControllerRoundtrip(t *testing.T) {
 	sys := buildDemoSystem(t)
-	ctrl, err := qos.NewController(sys, qos.WithMode(qos.Hard))
+	prog, err := qos.NewProgram(sys, qos.WithMode(qos.Hard))
 	if err != nil {
 		t.Fatal(err)
 	}
+	ctrl := prog.NewController()
 	rng := qos.NewRNG(1)
 	for cycle := 0; cycle < 3; cycle++ {
 		ctrl.Reset()
@@ -81,10 +67,11 @@ func TestPublicAPIEDF(t *testing.T) {
 
 func TestPublicAPIExecutor(t *testing.T) {
 	sys := buildDemoSystem(t)
-	ctrl, err := qos.NewController(sys)
+	prog, err := qos.NewProgram(sys)
 	if err != nil {
 		t.Fatal(err)
 	}
+	ctrl := prog.NewController()
 	ex := qos.NewExecutor()
 	// The default per-decision overhead is sized for Mcycle-scale
 	// frames; the demo system's whole cycle is 100 cycles.
@@ -129,19 +116,12 @@ func TestPublicAPIMPEGPipeline(t *testing.T) {
 
 func TestPublicAPIIterativeTables(t *testing.T) {
 	// A one-action body iterated 4 times under a 200-cycle budget.
-	b := qos.NewGraphBuilder()
-	b.AddAction("x")
-	g, err := b.Build()
-	if err != nil {
-		t.Fatal(err)
-	}
-	levels := qos.NewLevelRange(0, 1)
-	cav := qos.NewTimeFamily(levels, 1, 10)
-	cwc := qos.NewTimeFamily(levels, 1, 20)
-	cwc.Set(1, 0, 40)
-	cav.Set(1, 0, 30)
-	d := qos.NewTimeFamily(levels, 1, qos.Inf)
-	body, err := qos.NewSystem(g, levels, cav, cwc, d)
+	body, err := qos.NewSystemBuilder().
+		Levels(0, 1).
+		Action("x").
+		Time("x", 0, 10, 20).
+		Time("x", 1, 30, 40).
+		Build()
 	if err != nil {
 		t.Fatal(err)
 	}
