@@ -101,9 +101,8 @@ func realMain(ctx context.Context, argv []string, stdout, stderr io.Writer) int 
 	}
 	fmt.Fprintf(stdout, "qosd: listening on %s (%d models)\n", ln.Addr(), len(models))
 
-	reaperCtx, stopReaper := context.WithCancel(context.Background())
-	defer stopReaper()
-	go d.Reaper(reaperCtx)
+	d.StartReaper()
+	defer d.Drain() // stops and joins the reaper even on the error paths
 
 	srv := &http.Server{Handler: d.Handler()}
 	serveErr := make(chan error, 1)
@@ -122,7 +121,6 @@ func realMain(ctx context.Context, argv []string, stdout, stderr io.Writer) int 
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(stderr, "qosd: shutdown:", err)
 	}
-	stopReaper()
 	d.Drain()
 	fmt.Fprintln(stdout, "qosd: drained")
 	return 0

@@ -5,23 +5,29 @@
 // shared-budget mixer (mixerlock), direct access to the threshold
 // engine's position-major slabs (slabaccess), mixed atomic/plain
 // variable access (atomicsafety), lock-acquisition-order cycles and
-// RLock→Lock upgrades (lockorder), and allocating constructs reachable
-// from //qos:hotpath roots (hotalloc). It is stdlib-only — go/parser
-// and go/types with the compiler's source importer — so it runs
-// anywhere the Go toolchain does, with no module downloads.
+// RLock→Lock upgrades (lockorder), allocating constructs reachable
+// from //qos:hotpath roots (hotalloc), blocking operations under a
+// held mutex (blockunderlock), context-blind waiting loops (ctxloop),
+// and goroutines without a provable termination signal
+// (goroutinelife). It is stdlib-only — go/parser and go/types with the
+// compiler's source importer — so it runs anywhere the Go toolchain
+// does, with no module downloads.
 //
 // Usage:
 //
 //	go run ./cmd/qoslint [-json] [-check name[,name...]] ./...
+//	go run ./cmd/qoslint -list [-json]
 //
 // Findings print as file:line:col: check: message, one per line (-json
 // switches to a JSON array of objects with file/line/col/check/message
 // fields), and the exit status is 1 when there are any (2 on usage or
-// load errors). -check restricts the report to the named checks.
-// Suppress an arithmetic finding with //qos:overflow-ok <reason> and a
-// hot-path allocation with //qos:alloc-ok <reason> on the same line or
-// the line above; see README "Static analysis & overflow envelope" for
-// the rules.
+// load errors). -check restricts the report to the named checks; -list
+// prints the check inventory with one-line docs and exits. Suppress an
+// arithmetic finding with //qos:overflow-ok <reason>, a hot-path
+// allocation with //qos:alloc-ok <reason>, and a goroutine-lifetime
+// finding with //qos:goroutine-ok <reason> on the same line or the
+// line above; see README "Static analysis & overflow envelope" for the
+// rules.
 package main
 
 import (
@@ -44,18 +50,29 @@ func realMain(args []string, stdout, stderr *os.File) int {
 	fs.SetOutput(stderr)
 	asJSON := fs.Bool("json", false, "emit findings as a JSON array instead of file:line:col lines")
 	checkList := fs.String("check", "", "comma-separated list of checks to report (default: all)")
+	list := fs.Bool("list", false, "print the check inventory with one-line docs and exit")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: qoslint [-json] [-check name[,name...]] [packages]\n\n"+
+		fmt.Fprintf(stderr, "usage: qoslint [-json] [-check name[,name...]] [packages]\n"+
+			"       qoslint -list [-json]\n\n"+
 			"Analyzes the surrounding module's non-test Go code. Package\n"+
 			"patterns restrict which packages' findings are reported:\n"+
 			"'./...' (default) for all, or relative directories like\n"+
 			"./internal/core.\n\n"+
 			"  -json   emit a JSON array of {file,line,col,check,message}\n"+
 			"  -check  restrict the report to the named checks, one or more of:\n"+
-			"          %s\n", strings.Join(analysis.CheckNames, ", "))
+			"          %s\n"+
+			"  -list   print the check inventory (with -json: [{name,doc}]) and exit\n",
+			strings.Join(analysis.CheckNames, ", "))
 	}
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *list {
+		if err := writeInventory(stdout, *asJSON); err != nil {
+			fmt.Fprintln(stderr, "qoslint:", err)
+			return 2
+		}
+		return 0
 	}
 	enabled, err := parseCheckFilter(*checkList)
 	if err != nil {
@@ -120,6 +137,38 @@ func realMain(args []string, stdout, stderr *os.File) int {
 		return 1
 	}
 	return 0
+}
+
+// writeInventory prints the check register: one "name  doc" line per
+// check in CheckNames order, or with asJSON a stable [{name,doc}]
+// array. It needs no module load, so CI can log the enforced set
+// before the analysis itself runs.
+func writeInventory(w *os.File, asJSON bool) error {
+	if asJSON {
+		type entry struct {
+			Name string `json:"name"`
+			Doc  string `json:"doc"`
+		}
+		out := make([]entry, 0, len(analysis.CheckNames))
+		for _, name := range analysis.CheckNames {
+			out = append(out, entry{Name: name, Doc: analysis.CheckDocs[name]})
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(out)
+	}
+	width := 0
+	for _, name := range analysis.CheckNames {
+		if len(name) > width {
+			width = len(name)
+		}
+	}
+	for _, name := range analysis.CheckNames {
+		if _, err := fmt.Fprintf(w, "%-*s  %s\n", width, name, analysis.CheckDocs[name]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // parseCheckFilter validates a -check value against the known check

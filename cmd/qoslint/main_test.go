@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/analysis"
 )
 
 // devNull opens os.DevNull for capturing output we only exit-code check.
@@ -114,6 +116,59 @@ func TestCheckFilter(t *testing.T) {
 	}
 	if code := realMain([]string{"-check", "nosuchcheck", "./..."}, null, null); code != 2 {
 		t.Errorf("-check nosuchcheck = exit %d, want 2", code)
+	}
+}
+
+// TestListInventory: -list prints one line per check with its doc, in
+// CheckNames order, exits 0, and never loads the module (it runs from
+// the minimod fixture, whose one finding would otherwise exit 1).
+func TestListInventory(t *testing.T) {
+	chdirMinimod(t)
+	out, read := capture(t)
+	if code := realMain([]string{"-list"}, out, devNull(t)); code != 0 {
+		t.Fatalf("qoslint -list = exit %d, want 0", code)
+	}
+	lines := strings.Split(strings.TrimSpace(read()), "\n")
+	if len(lines) != len(analysis.CheckNames) {
+		t.Fatalf("-list printed %d lines, want %d:\n%s", len(lines), len(analysis.CheckNames), read())
+	}
+	for i, name := range analysis.CheckNames {
+		fields := strings.Fields(lines[i])
+		if len(fields) < 2 || fields[0] != name {
+			t.Errorf("line %d = %q, want check %q with a doc", i, lines[i], name)
+		}
+		if doc := analysis.CheckDocs[name]; doc == "" || !strings.Contains(lines[i], doc) {
+			t.Errorf("line %d = %q: missing doc for %s", i, lines[i], name)
+		}
+	}
+	for _, name := range []string{"blockunderlock", "ctxloop", "goroutinelife"} {
+		if !strings.Contains(read(), name) {
+			t.Errorf("-list output missing %s", name)
+		}
+	}
+}
+
+// TestListInventoryJSON: -list -json emits a stable [{name,doc}] array.
+func TestListInventoryJSON(t *testing.T) {
+	chdirMinimod(t)
+	out, read := capture(t)
+	if code := realMain([]string{"-list", "-json"}, out, devNull(t)); code != 0 {
+		t.Fatalf("qoslint -list -json = exit %d, want 0", code)
+	}
+	var entries []struct {
+		Name string `json:"name"`
+		Doc  string `json:"doc"`
+	}
+	if err := json.Unmarshal([]byte(read()), &entries); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, read())
+	}
+	if len(entries) != len(analysis.CheckNames) {
+		t.Fatalf("got %d entries, want %d", len(entries), len(analysis.CheckNames))
+	}
+	for i, e := range entries {
+		if e.Name != analysis.CheckNames[i] || e.Doc == "" {
+			t.Errorf("entry %d = %+v, want name %q with a doc", i, e, analysis.CheckNames[i])
+		}
 	}
 }
 

@@ -3,7 +3,7 @@
 // on go/parser and go/types only — no module dependencies — so it runs
 // in any sandbox that has a Go toolchain.
 //
-// Seven checks:
+// Ten checks:
 //
 //   - cyclesarith: raw +, -, * (including +=, -=, *=, ++ and --) where
 //     an operand's type resolves to a defined integer type named Cycles,
@@ -36,14 +36,32 @@
 //     every allocating construct reachable from a root through the
 //     intra-module call graph is reported, unless justified with
 //     //qos:alloc-ok <reason>.
+//   - blockunderlock: no potentially-blocking operation — channel
+//     send/receive, select without default, sync.WaitGroup.Wait,
+//     Cond.Wait on a condition guarded by a different mutex, time.Sleep,
+//     network I/O, or a call in the transitive mayBlock closure — while
+//     a sync.Mutex/RWMutex is held, with read and write holds named
+//     separately.
+//   - ctxloop: in any function taking a context.Context, a loop that
+//     contains a blocking wait or backoff retry must consult the
+//     context (ctx.Err() call or <-ctx.Done() select case) each
+//     iteration.
+//   - goroutinelife: every go statement must carry a provable
+//     termination signal — joined via WaitGroup.Done, bounded loops
+//     only, or every unbounded loop selects on ctx.Done()/a close-only
+//     channel — unless justified with //qos:goroutine-ok <reason>.
 //
 // The arithmetic checks (cyclesarith, infguard) honour the annotation
 //
 //	//qos:overflow-ok <reason>
 //
-// and hotalloc honours
+// hotalloc honours
 //
 //	//qos:alloc-ok <reason>
+//
+// and goroutinelife honours
+//
+//	//qos:goroutine-ok <reason>
 //
 // on the finding's line or the line directly above it. The reason is
 // mandatory: a bare annotation is itself reported. An annotation binds
@@ -51,8 +69,9 @@
 // there, otherwise the line below — so one annotation can never blanket
 // two distinct statements. An annotation that suppresses nothing (a
 // stale suppression surviving a refactor) is itself a finding. The
-// architectural checks (mixerlock, slabaccess, atomicsafety, lockorder)
-// are not suppressible.
+// architectural and liveness checks (mixerlock, slabaccess,
+// atomicsafety, lockorder, blockunderlock, ctxloop) are not
+// suppressible.
 package analysis
 
 import (
@@ -65,14 +84,17 @@ import (
 
 // Check names, as they appear in diagnostics.
 const (
-	CheckCyclesArith  = "cyclesarith"
-	CheckInfGuard     = "infguard"
-	CheckMixerLock    = "mixerlock"
-	CheckSlabAccess   = "slabaccess"
-	CheckAtomicSafety = "atomicsafety"
-	CheckLockOrder    = "lockorder"
-	CheckHotAlloc     = "hotalloc"
-	CheckAnnotation   = "annotation"
+	CheckCyclesArith    = "cyclesarith"
+	CheckInfGuard       = "infguard"
+	CheckMixerLock      = "mixerlock"
+	CheckSlabAccess     = "slabaccess"
+	CheckAtomicSafety   = "atomicsafety"
+	CheckLockOrder      = "lockorder"
+	CheckHotAlloc       = "hotalloc"
+	CheckBlockUnderLock = "blockunderlock"
+	CheckCtxLoop        = "ctxloop"
+	CheckGoroutineLife  = "goroutinelife"
+	CheckAnnotation     = "annotation"
 )
 
 // CheckNames lists every check name a Diagnostic can carry, in the
@@ -86,7 +108,28 @@ var CheckNames = []string{
 	CheckAtomicSafety,
 	CheckLockOrder,
 	CheckHotAlloc,
+	CheckBlockUnderLock,
+	CheckCtxLoop,
+	CheckGoroutineLife,
 	CheckAnnotation,
+}
+
+// CheckDocs maps each check name to a one-line description, in the
+// register the CLI's -list flag prints for CI logs and new
+// contributors. Kept to one sentence per check; the package doc above
+// carries the full rationale.
+var CheckDocs = map[string]string{
+	CheckCyclesArith:    "raw +/-/* on the saturating Cycles type outside its defining file",
+	CheckInfGuard:       "ordered comparisons on unsaturated Cycles arithmetic reachable from an Inf source",
+	CheckMixerLock:      "intra-package call into a mutex-acquiring helper while a mutex is already held",
+	CheckSlabAccess:     "use of the position-major slack slab fields outside their defining file",
+	CheckAtomicSafety:   "plain read or write of a variable elsewhere accessed through sync/atomic",
+	CheckLockOrder:      "module-wide lock-order cycles (ABBA) and RLock-to-Lock upgrades",
+	CheckHotAlloc:       "allocation reachable from a //qos:hotpath root without //qos:alloc-ok justification",
+	CheckBlockUnderLock: "potentially-blocking operation (channel op, select, Wait, Sleep, net I/O) while a mutex is held",
+	CheckCtxLoop:        "loop in a context-taking function that waits without consulting ctx.Err()/ctx.Done()",
+	CheckGoroutineLife:  "go statement with no provable termination signal and no //qos:goroutine-ok justification",
+	CheckAnnotation:     "malformed (reasonless) or stale //qos: suppression annotations",
 }
 
 // Diagnostic is one finding.
@@ -104,7 +147,7 @@ func (d Diagnostic) String() string {
 // ("" for the architectural checks, which are not suppressible).
 type finding struct {
 	d        Diagnostic
-	suppress string // annOverflowOK, annAllocOK, or ""
+	suppress string // annOverflowOK, annAllocOK, annGoroutineOK, or ""
 }
 
 func sortDiagnostics(ds []Diagnostic) {
@@ -129,9 +172,11 @@ func sortDiagnostics(ds []Diagnostic) {
 // Analyze runs every check over the loaded packages and returns the
 // findings sorted by position. The per-package checks (cyclesarith,
 // infguard, mixerlock, slabaccess) see one package at a time; the
-// module-wide checks (atomicsafety, lockorder, hotalloc) see the whole
-// package set, so cross-package mixed access, lock-order cycles and
-// hot-path reachability are visible.
+// module-wide checks (atomicsafety, lockorder, hotalloc, and the
+// liveness trio blockunderlock/ctxloop/goroutinelife, which share one
+// precomputed blocking closure) see the whole package set, so
+// cross-package mixed access, lock-order cycles, hot-path reachability
+// and may-block call chains are visible.
 func Analyze(pkgs []*Package) []Diagnostic {
 	ann := collectAnnotations(pkgs)
 	var raw []finding
@@ -144,6 +189,10 @@ func Analyze(pkgs []*Package) []Diagnostic {
 	raw = append(raw, checkAtomicSafety(pkgs)...)
 	raw = append(raw, checkLockOrder(pkgs)...)
 	raw = append(raw, checkHotAlloc(pkgs, ann)...)
+	bi := buildBlockInfo(pkgs)
+	raw = append(raw, checkBlockUnderLock(pkgs, bi)...)
+	raw = append(raw, checkCtxLoop(pkgs, bi)...)
+	raw = append(raw, checkGoroutineLife(pkgs, bi)...)
 	ds := ann.resolve(raw)
 	sortDiagnostics(ds)
 	return ds
@@ -151,15 +200,17 @@ func Analyze(pkgs []*Package) []Diagnostic {
 
 // Annotation kinds (the suffix after the shared //qos: marker).
 const (
-	annOverflowOK = "overflow-ok"
-	annAllocOK    = "alloc-ok"
+	annOverflowOK  = "overflow-ok"
+	annAllocOK     = "alloc-ok"
+	annGoroutineOK = "goroutine-ok"
 )
 
 // annotationReason documents, per kind, what the mandatory reason must
 // argue.
 var annotationReason = map[string]string{
-	annOverflowOK: "the proven bound or why overflow is impossible",
-	annAllocOK:    "why the allocation is acceptable or unreachable on the decision path",
+	annOverflowOK:  "the proven bound or why overflow is impossible",
+	annAllocOK:     "why the allocation is acceptable or unreachable on the decision path",
+	annGoroutineOK: "why the goroutine's lifetime is acceptable without a termination signal",
 }
 
 // annotation is one well-formed //qos:overflow-ok or //qos:alloc-ok
@@ -197,7 +248,7 @@ func collectAnnotations(pkgs []*Package) *annotations {
 						continue
 					}
 					var kind string
-					for _, k := range []string{annOverflowOK, annAllocOK} {
+					for _, k := range []string{annOverflowOK, annAllocOK, annGoroutineOK} {
 						if strings.HasPrefix(rest, k) {
 							kind = k
 							break

@@ -17,7 +17,10 @@ var update = flag.Bool("update", false, "rewrite the golden files")
 //
 //	go test ./internal/analysis -run TestGolden -update
 func TestGolden(t *testing.T) {
-	fixtures := []string{"arith", "atomicsafety", "clean", "hotalloc", "infguard", "lockorder", "mixerlock", "slab"}
+	fixtures := []string{
+		"arith", "atomicsafety", "blockunderlock", "clean", "ctxloop",
+		"goroutinelife", "hotalloc", "infguard", "lockorder", "mixerlock", "slab",
+	}
 	for _, name := range fixtures {
 		t.Run(name, func(t *testing.T) {
 			dir := filepath.Join("testdata", "src", name)

@@ -1,0 +1,153 @@
+// Package blockunderlock is a qoslint fixture for the
+// no-blocking-while-locked check: channel operations, selects without
+// default, time.Sleep, WaitGroup.Wait and transitive may-block calls
+// under a held mutex (true positives); the same operations after
+// release, under a default-carrying select, in a spawned goroutine, or
+// a Cond.Wait under its own mutex (clean); and an annotation that
+// tries to silence the check (stale — blockunderlock is not
+// suppressible).
+package blockunderlock
+
+import (
+	"sync"
+	"time"
+)
+
+var mu sync.Mutex
+
+var rw sync.RWMutex
+
+// SendHeld sends on a channel while holding mu: a full channel parks
+// the holder and every contender — flagged.
+func SendHeld(ch chan int) {
+	mu.Lock()
+	ch <- 1
+	mu.Unlock()
+}
+
+// ReceiveReadHeld receives while read-holding rw: flagged with the
+// read mode named.
+func ReceiveReadHeld(ch chan int) int {
+	rw.RLock()
+	v := <-ch
+	rw.RUnlock()
+	return v
+}
+
+// SelectHeld blocks in a default-less select under mu — flagged; the
+// comm cases themselves are not re-reported.
+func SelectHeld(a, b chan int) {
+	mu.Lock()
+	select {
+	case <-a:
+	case <-b:
+	}
+	mu.Unlock()
+}
+
+// SleepHeld holds mu across a deferred unlock, so the Sleep runs under
+// the lock — flagged.
+func SleepHeld() {
+	mu.Lock()
+	defer mu.Unlock()
+	time.Sleep(time.Millisecond)
+}
+
+// WaitHeld joins a WaitGroup under mu — flagged.
+func WaitHeld(wg *sync.WaitGroup) {
+	mu.Lock()
+	wg.Wait()
+	mu.Unlock()
+}
+
+// backoff blocks; it seeds the mayBlock closure.
+func backoff() {
+	time.Sleep(time.Millisecond)
+}
+
+// TransitiveHeld calls backoff under mu: the block is one call away —
+// flagged at the call with the closure's reason.
+func TransitiveHeld() {
+	mu.Lock()
+	backoff()
+	mu.Unlock()
+}
+
+// AnnotatedSend shows the check is not suppressible: the annotation
+// silences nothing, so both the finding and the stale annotation are
+// reported.
+func AnnotatedSend(ch chan int) {
+	mu.Lock()
+	//qos:goroutine-ok trying to silence a blockunderlock finding
+	ch <- 2
+	mu.Unlock()
+}
+
+// SendReleased performs the same operations after releasing mu — clean.
+func SendReleased(ch chan int) {
+	mu.Lock()
+	mu.Unlock()
+	ch <- 1
+	time.Sleep(time.Millisecond)
+}
+
+// PollHeld uses a select with a default case under mu: never parks —
+// clean.
+func PollHeld(a chan int) bool {
+	mu.Lock()
+	defer mu.Unlock()
+	select {
+	case <-a:
+		return true
+	default:
+		return false
+	}
+}
+
+// SpawnHeld spawns under mu: the goroutine runs lock-free, so its
+// receive does not count against the holder — clean.
+func SpawnHeld(ch chan int) {
+	mu.Lock()
+	go drain(ch)
+	mu.Unlock()
+}
+
+// drain ranges over ch until it is closed.
+func drain(ch chan int) {
+	for range ch {
+	}
+}
+
+// Queue pairs a condition variable with the mutex that guards it, plus
+// an unrelated mutex for the wrong-guard case.
+type Queue struct {
+	mu    sync.Mutex
+	aux   sync.Mutex
+	cond  *sync.Cond
+	ready bool
+}
+
+// NewQueue associates cond with mu.
+func NewQueue() *Queue {
+	q := &Queue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// WaitOwn waits under the cond's own mutex, which Wait releases while
+// parked — the intended pattern, clean.
+func (q *Queue) WaitOwn() {
+	q.mu.Lock()
+	for !q.ready {
+		q.cond.Wait()
+	}
+	q.mu.Unlock()
+}
+
+// WaitWrong waits while holding aux, which Wait never releases —
+// flagged.
+func (q *Queue) WaitWrong() {
+	q.aux.Lock()
+	q.cond.Wait()
+	q.aux.Unlock()
+}

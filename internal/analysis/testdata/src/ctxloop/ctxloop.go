@@ -1,0 +1,81 @@
+// Package ctxloop is a qoslint fixture for the
+// consult-your-context check: loops in context-taking functions that
+// wait — a bare receive, a default-less select, a backoff retry —
+// without checking ctx (true positives); loops that consult ctx.Err()
+// or select on ctx.Done(), loops that never block, and blocking
+// outside any loop (clean); and an annotation that tries to silence
+// the check (stale — ctxloop is not suppressible).
+package ctxloop
+
+import (
+	"context"
+	"time"
+)
+
+// Drain receives forever without ever consulting ctx: a canceled
+// caller is stranded — flagged.
+func Drain(ctx context.Context, ch chan int) {
+	for {
+		<-ch
+	}
+}
+
+// Retry is the backoff-retry shape: even though the loop is bounded,
+// every sleep outlives a canceled caller by up to the full backoff —
+// flagged.
+func Retry(ctx context.Context, try func() bool) bool {
+	for i := 0; i < 5; i++ {
+		if try() {
+			return true
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return false
+}
+
+// AnnotatedWait shows the check is not suppressible: the annotation
+// silences nothing, so both the finding and the stale annotation are
+// reported.
+func AnnotatedWait(ctx context.Context, ch chan int) {
+	//qos:overflow-ok trying to silence a ctxloop finding
+	for {
+		<-ch
+	}
+}
+
+// PollErr consults ctx.Err() each iteration — clean.
+func PollErr(ctx context.Context, ch chan int) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		<-ch
+	}
+}
+
+// SelectDone selects on ctx.Done() alongside the data channel — the
+// PR 7 AdmitWait shape, clean.
+func SelectDone(ctx context.Context, ch chan int) error {
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ch:
+		}
+	}
+}
+
+// Sum never blocks inside its loop — clean.
+func Sum(ctx context.Context, xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// WaitOnce blocks outside any loop: a single wait is the caller's
+// choice, not a stranding loop — clean.
+func WaitOnce(ctx context.Context, ch chan int) int {
+	return <-ch
+}

@@ -1,0 +1,138 @@
+// Package goroutinelife is a qoslint fixture for the
+// goroutine-termination check: unbounded spawns with no exit signal
+// and statically unresolvable spawns (true positives); WaitGroup-joined
+// workers, bounded bodies, channel-range consumers and ctx.Done() /
+// stop-channel loops (clean); a justified process-lifetime goroutine
+// (suppressed via //qos:goroutine-ok); a reasonless annotation
+// (malformed); and a justification on a spawn that needs none (stale).
+package goroutinelife
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+var beats int
+
+func beat() { beats++ }
+
+// SpawnForever spawns an unbounded loop with no exit signal — flagged.
+func SpawnForever() {
+	go func() {
+		for {
+			beat()
+		}
+	}()
+}
+
+// leakyLoop never returns and hears no signal.
+func leakyLoop() {
+	for {
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// SpawnLeaky names a module function whose body loops forever —
+// flagged at the spawn with the loop's line.
+func SpawnLeaky() {
+	go leakyLoop()
+}
+
+// SpawnOpaque spawns a caller-supplied function value: no body to
+// prove anything about — flagged as unresolvable.
+func SpawnOpaque(fn func()) {
+	go fn()
+}
+
+// SpawnFlusher is the justified process-lifetime shape: the loop runs
+// until the process exits, and the annotation argues why that is fine
+// — suppressed, no finding.
+func SpawnFlusher() {
+	//qos:goroutine-ok flusher is process-lifetime by design; dies with main
+	go func() {
+		for {
+			beat()
+		}
+	}()
+}
+
+// SpawnBare carries a reasonless annotation: the justification grammar
+// requires an argument, so the annotation itself is reported.
+func SpawnBare() {
+	//qos:goroutine-ok
+	go func() {
+		for {
+			beat()
+		}
+	}()
+}
+
+// SpawnJoined is the join discipline: Done in the body pairs with the
+// spawner's Wait — clean, and the annotation above it justifies
+// nothing, so it is reported stale.
+func SpawnJoined(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		//qos:goroutine-ok stale justification on a joined goroutine
+		go func() {
+			defer wg.Done()
+			beat()
+		}()
+	}
+	wg.Wait()
+}
+
+// SpawnBounded runs off its own end: every loop carries a condition —
+// clean.
+func SpawnBounded(xs []int) {
+	go func() {
+		for i := 0; i < len(xs); i++ {
+			beat()
+		}
+	}()
+}
+
+// SpawnConsumer ranges over a channel: the producer's close terminates
+// it — clean.
+func SpawnConsumer(ch chan int) {
+	go func() {
+		for range ch {
+			beat()
+		}
+	}()
+}
+
+// reaper is the ctx.Done() shape: the select's receive case returns —
+// clean.
+func reaper(ctx context.Context, tick chan struct{}) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick:
+			beat()
+		}
+	}
+}
+
+// SpawnReaper spawns the signalled module function — clean.
+func SpawnReaper(ctx context.Context, tick chan struct{}) {
+	go reaper(ctx, tick)
+}
+
+// SpawnStopChan is the close-only stop-channel shape: the receive case
+// breaks the loop — clean.
+func SpawnStopChan(stop chan struct{}, tick chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick:
+				beat()
+			}
+		}
+	}()
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"sort"
 	"sync/atomic"
 	"time"
@@ -112,6 +113,8 @@ func (d *Daemon) handleMetrics(w http.ResponseWriter, r *http.Request) int {
 		draining = 1
 	}
 	fmt.Fprintf(w, "# TYPE qosd_draining gauge\nqosd_draining %d\n", draining)
+	fmt.Fprintf(w, "# HELP qosd_goroutines Goroutines in the daemon process; stable across drain or something leaked.\n")
+	fmt.Fprintf(w, "# TYPE qosd_goroutines gauge\nqosd_goroutines %d\n", runtime.NumGoroutine())
 	d.mu.Lock()
 	active := len(d.streams)
 	d.mu.Unlock()

@@ -22,7 +22,6 @@
 package qosd
 
 import (
-	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -96,7 +95,9 @@ type stream struct {
 }
 
 // Daemon is the qosd server core. Build one with New, mount Handler on
-// an http.Server, run Reaper in a goroutine, and Drain on shutdown.
+// an http.Server, call StartReaper, and Drain on shutdown — Drain joins
+// the reaper goroutine before returning, so a drained daemon leaves
+// nothing running.
 type Daemon struct {
 	cfg    Config
 	models map[string]*model
@@ -104,6 +105,15 @@ type Daemon struct {
 
 	mu      sync.Mutex
 	streams map[uint64]*stream
+
+	// Reaper lifecycle: StartReaper spawns the goroutine once
+	// (reaperOn), StopReaper closes reaperStop once (reaperStopped) and
+	// joins on reaperDone, which the goroutine closes on exit. The
+	// CAS guards make both idempotent and safe to race.
+	reaperStop    chan struct{}
+	reaperDone    chan struct{}
+	reaperOn      atomic.Bool
+	reaperStopped atomic.Bool
 
 	nextID   atomic.Uint64
 	draining atomic.Bool
@@ -142,16 +152,18 @@ func New(cfg Config) (*Daemon, error) {
 		cfg.MaxBatch = 1024
 	}
 	d := &Daemon{
-		cfg:       cfg,
-		models:    make(map[string]*model, len(cfg.Models)),
-		streams:   make(map[uint64]*stream),
-		start:     time.Now(),
-		mAdmit:    newEndpointMetrics("admit"),
-		mRelease:  newEndpointMetrics("release"),
-		mDecide:   newEndpointMetrics("decide"),
-		mCapacity: newEndpointMetrics("capacity"),
-		mHealth:   newEndpointMetrics("healthz"),
-		mMetrics:  newEndpointMetrics("metrics"),
+		cfg:        cfg,
+		models:     make(map[string]*model, len(cfg.Models)),
+		streams:    make(map[uint64]*stream),
+		reaperStop: make(chan struct{}),
+		reaperDone: make(chan struct{}),
+		start:      time.Now(),
+		mAdmit:     newEndpointMetrics("admit"),
+		mRelease:   newEndpointMetrics("release"),
+		mDecide:    newEndpointMetrics("decide"),
+		mCapacity:  newEndpointMetrics("capacity"),
+		mHealth:    newEndpointMetrics("healthz"),
+		mMetrics:   newEndpointMetrics("metrics"),
 	}
 	for _, mf := range cfg.Models {
 		if mf.Name == "" {
@@ -225,15 +237,28 @@ func (d *Daemon) lookup(name string) (*model, error) {
 	return m, nil
 }
 
-// Reaper advances every model's lease epoch on the configured interval
-// until ctx is done. Run it in its own goroutine; without it leases
-// never expire and silent clients hold capacity forever.
-func (d *Daemon) Reaper(ctx context.Context) {
+// StartReaper launches the reaper goroutine, which advances every
+// model's lease epoch on the configured interval; without it leases
+// never expire and silent clients hold capacity forever. Idempotent:
+// only the first call spawns. The goroutine runs until StopReaper (or
+// Drain, which calls it) signals and joins it.
+func (d *Daemon) StartReaper() {
+	if !d.reaperOn.CompareAndSwap(false, true) {
+		return
+	}
+	go d.reap()
+}
+
+// reap is the reaper goroutine body: tick, rebalance, until the stop
+// channel closes. Closing reaperDone on the way out is the join signal
+// StopReaper blocks on.
+func (d *Daemon) reap() {
+	defer close(d.reaperDone)
 	t := time.NewTicker(d.cfg.EpochInterval)
 	defer t.Stop()
 	for {
 		select {
-		case <-ctx.Done():
+		case <-d.reaperStop:
 			return
 		case <-t.C:
 			for _, name := range d.order {
@@ -243,12 +268,26 @@ func (d *Daemon) Reaper(ctx context.Context) {
 	}
 }
 
-// Drain refuses new work (admit and decide return 503, healthz fails)
-// and releases every admitted stream, waiting out in-flight decides.
-// Idempotent; call it after http.Server.Shutdown so no request races
-// the teardown.
+// StopReaper signals the reaper goroutine to exit and waits until it
+// has. Idempotent and safe to race: the stop channel closes exactly
+// once, and joining a reaper that never started returns immediately.
+func (d *Daemon) StopReaper() {
+	if !d.reaperOn.Load() {
+		return
+	}
+	if d.reaperStopped.CompareAndSwap(false, true) {
+		close(d.reaperStop)
+	}
+	<-d.reaperDone
+}
+
+// Drain refuses new work (admit and decide return 503, healthz fails),
+// stops and joins the reaper goroutine, and releases every admitted
+// stream, waiting out in-flight decides. Idempotent; call it after
+// http.Server.Shutdown so no request races the teardown.
 func (d *Daemon) Drain() {
 	d.draining.Store(true)
+	d.StopReaper()
 	d.mu.Lock()
 	sts := make([]*stream, 0, len(d.streams))
 	for _, st := range d.streams {

@@ -2,13 +2,13 @@ package qosd
 
 import (
 	"bytes"
-	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -260,15 +260,20 @@ func TestQosdDecideItemCodes(t *testing.T) {
 func TestQosdLeaseRevocation(t *testing.T) {
 	d, srv := newTestDaemon(t, func(c *Config) {
 		c.LeaseEpochs = 1
-		c.EpochInterval = 5 * time.Millisecond
+		c.EpochInterval = time.Millisecond
 	})
-	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
-	go d.Reaper(ctx)
+	d.StartReaper() // joined by Drain in the test cleanup
 
 	silent := admitN(t, srv, 2)
-	// Silence outlasts the lease: epoch 5ms × (1+1 margin) ≪ 100ms.
-	time.Sleep(100 * time.Millisecond)
+	// Bounded poll until the reaper has revoked both silent streams —
+	// no wall-clock guess about how many epochs silence takes.
+	deadline := time.Now().Add(10 * time.Second)
+	for d.models["chain"].budget.Stats().Revoked < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("reaper never revoked the silent streams: %+v", d.models["chain"].budget.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
 
 	var dr api.DecideResponse
 	postJSON(t, srv.URL+"/v1/decide", api.DecideRequest{Items: []api.DecideItem{
@@ -351,6 +356,7 @@ func TestQosdMetricsParse(t *testing.T) {
 	}
 	for _, want := range []string{
 		"qosd_uptime_seconds ",
+		"qosd_goroutines ",
 		"qosd_streams_active 2",
 		`qosd_model_cycles_total{model="chain"} 2`,
 		`qosd_model_misses_total{model="chain"} 0`,
@@ -376,10 +382,15 @@ func TestQosdDrainUnderFire(t *testing.T) {
 
 	var wg sync.WaitGroup
 	stop := make(chan struct{})
+	// Each hammer goroutine signals after its first decide completes, so
+	// the drain below provably starts under fire instead of after a
+	// wall-clock guess.
+	started := make(chan struct{}, len(streams))
 	for _, s := range streams {
 		wg.Add(1)
 		go func(id uint64) {
 			defer wg.Done()
+			first := true
 			for {
 				select {
 				case <-stop:
@@ -389,6 +400,10 @@ func TestQosdDrainUnderFire(t *testing.T) {
 				var dr api.DecideResponse
 				code, _ := postJSON(t, srv.URL+"/v1/decide",
 					api.DecideRequest{Items: []api.DecideItem{{Stream: id, Load: 0.5}}}, &dr)
+				if first {
+					started <- struct{}{}
+					first = false
+				}
 				if code == http.StatusServiceUnavailable {
 					return // drain won
 				}
@@ -408,7 +423,9 @@ func TestQosdDrainUnderFire(t *testing.T) {
 			}
 		}(s.ID)
 	}
-	time.Sleep(10 * time.Millisecond) // let the fire start
+	for range streams {
+		<-started // every hammer goroutine has a decide through
+	}
 	d.Drain()
 	close(stop)
 	wg.Wait()
@@ -440,6 +457,47 @@ func TestQosdDrainUnderFire(t *testing.T) {
 	resp.Body.Close()
 	if m := cr.Models[0]; m.Streams != 0 || m.Committed != 0 || m.Granted != 0 {
 		t.Fatalf("drain leaked capacity: %+v", m)
+	}
+}
+
+// TestQosdReaperShutdown (run with -race): Drain stops and joins the
+// reaper goroutine — the done channel is closed when Drain returns —
+// and 100 boot/drain cycles leak no goroutines. This is the regression
+// test behind qoslint's goroutinelife check: a reaper that outlives its
+// daemon holds the models and ticks forever.
+func TestQosdReaperShutdown(t *testing.T) {
+	path := writeTestModel(t)
+	base := runtime.NumGoroutine()
+	for i := 0; i < 100; i++ {
+		d, err := New(Config{
+			Models:        []ModelFile{{Name: "chain", Path: path}},
+			Budget:        100,
+			LeaseEpochs:   1,
+			EpochInterval: time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.StartReaper()
+		d.StartReaper() // idempotent: no second goroutine to leak
+		d.Drain()
+		select {
+		case <-d.reaperDone:
+		default:
+			t.Fatal("Drain returned but the reaper goroutine had not exited")
+		}
+		d.Drain()      // idempotent after the join
+		d.StopReaper() // and directly
+	}
+	// The join is deterministic, so the count settles back to the
+	// baseline; the bounded poll only rides out runtime bookkeeping.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d at start, %d after 100 boot/drain cycles",
+				base, runtime.NumGoroutine())
+		}
+		time.Sleep(time.Millisecond)
 	}
 }
 
